@@ -1,0 +1,45 @@
+//! Regenerates **Figure 2** of the paper: running time in nanoseconds per
+//! edge on random hyperbolic graphs, one series per algorithm, over a grid
+//! of (number of vertices × average degree).
+//!
+//! Paper shape to check (§4.2): HO-CGKLS is slowest everywhere; the NOI
+//! variants are within a small factor of each other on RHG (priorities
+//! rarely exceed λ̂, so bounding saves little); the VieCut-seeded variants
+//! win on the *denser* grids, losing only on very sparse ones where plain
+//! NOI is already near-linear.
+
+use mincut_bench::instances::{fig2_grid, Scale};
+use mincut_bench::runner::{fig2_algorithms, run_avg};
+use mincut_bench::table::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.repetitions();
+    println!("== Figure 2: ns/edge on RHG graphs (scale {scale:?}, {reps} reps) ==\n");
+    let mut table = Table::new(&["log2_n", "log2_deg", "n", "m", "algorithm", "lambda", "ns_per_edge"]);
+
+    for (ne, de, inst) in fig2_grid(scale) {
+        let g = &inst.graph;
+        let m = g.m();
+        eprintln!("[instance {} : n={} m={}]", inst.name, g.n(), m);
+        let mut reference = None;
+        for algo in fig2_algorithms() {
+            let (value, secs) = run_avg(g, algo, reps, 7);
+            match reference {
+                None => reference = Some(value),
+                Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),
+            }
+            let ns_per_edge = secs * 1e9 / m as f64;
+            table.row(vec![
+                ne.to_string(),
+                de.to_string(),
+                g.n().to_string(),
+                m.to_string(),
+                algo.to_string(),
+                value.to_string(),
+                format!("{ns_per_edge:.1}"),
+            ]);
+        }
+    }
+    table.emit("fig2_rhg");
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Figure 3** of the paper: running time on "real-world"
+//! graphs (here: the documented synthetic proxies), normalised by the
+//! running time of NOIλ̂-Heap-VieCut, plotted against the number of edges
+//! and the average degree. Also prints the §4.2 headline statistics:
+//! geometric-mean speedups of NOIλ̂-Heap over NOI-HNSS, NOIλ̂-BStack over
+//! NOIλ̂-Heap, and the VieCut variant over the non-VieCut variant.
+
+use mincut_bench::instances::{realworld_proxies, Scale};
+use mincut_bench::runner::{run_avg, BenchAlgo};
+use mincut_bench::table::{geometric_mean, Table};
+use mincut_core::PqKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.repetitions();
+    println!("== Figure 3: slowdown vs NOIλ̂-Heap-VieCut on real-world proxies ==");
+    println!("   (scale {scale:?}, {reps} reps)\n");
+
+    let algorithms = vec![
+        BenchAlgo::HoCgkls,
+        BenchAlgo::NoiCgkls,
+        BenchAlgo::NoiHnss,
+        BenchAlgo::NoiBounded(PqKind::Heap),
+        BenchAlgo::NoiBounded(PqKind::BStack),
+        BenchAlgo::NoiBounded(PqKind::BQueue),
+        BenchAlgo::NoiHnssVieCut,
+        BenchAlgo::NoiBoundedVieCut(PqKind::Heap),
+    ];
+
+    let mut table = Table::new(&["graph", "m", "avg_deg", "algorithm", "lambda", "seconds", "slowdown"]);
+    let mut speedup_bounded = Vec::new(); // NOI-HNSS / NOIλ̂-Heap
+    let mut speedup_bstack = Vec::new(); // NOIλ̂-Heap / NOIλ̂-BStack
+    let mut speedup_viecut = Vec::new(); // NOIλ̂-Heap / NOIλ̂-Heap-VieCut
+
+    for inst in realworld_proxies(scale) {
+        let g = &inst.graph;
+        eprintln!("[instance {} : n={} m={}]", inst.name, g.n(), g.m());
+        let mut times = std::collections::HashMap::new();
+        let mut reference = None;
+        for &algo in &algorithms {
+            let (value, secs) = run_avg(g, algo, reps, 11);
+            match reference {
+                None => reference = Some(value),
+                Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),
+            }
+            times.insert(algo.to_string(), secs);
+        }
+        let base = times["NOIl-Heap-VieCut"];
+        for &algo in &algorithms {
+            let secs = times[&algo.to_string()];
+            table.row(vec![
+                inst.name.clone(),
+                g.m().to_string(),
+                format!("{:.1}", g.avg_degree()),
+                algo.to_string(),
+                reference.unwrap().to_string(),
+                format!("{secs:.4}"),
+                format!("{:.2}", secs / base),
+            ]);
+        }
+        speedup_bounded.push(times["NOI-HNSS"] / times["NOIl-Heap"]);
+        speedup_bstack.push(times["NOIl-Heap"] / times["NOIl-BStack"]);
+        speedup_viecut.push(times["NOIl-Heap"] / times["NOIl-Heap-VieCut"]);
+    }
+    table.emit("fig3_realworld");
+
+    println!("\n== §4.2 headline statistics (geometric means) ==");
+    println!(
+        "NOIλ̂-Heap vs NOI-HNSS speedup:        {:.2}x   (paper: 1.35x, up to 1.83x)",
+        geometric_mean(&speedup_bounded)
+    );
+    println!(
+        "NOIλ̂-BStack vs NOIλ̂-Heap speedup:     {:.2}x   (paper: 1.22x on real-world)",
+        geometric_mean(&speedup_bstack)
+    );
+    println!(
+        "NOIλ̂-Heap-VieCut vs NOIλ̂-Heap:        {:.2}x   (paper: 1.34x over all graphs)",
+        geometric_mean(&speedup_viecut)
+    );
+}

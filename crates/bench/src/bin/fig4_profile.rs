@@ -1,0 +1,74 @@
+//! Regenerates **Figure 4** of the paper: the performance profile over
+//! all instances. For each algorithm, the per-instance ratios
+//! `t_best / t_algorithm` are sorted in increasing order; an algorithm
+//! whose curve dominates another's outperforms it. A value of 1 means the
+//! algorithm was the fastest on that instance.
+//!
+//! Paper shape to check: NOIλ̂-Heap-VieCut is at or near ratio 1 on all
+//! but the sparsest instances; HO-CGKLS and NOI-CGKLS are dominated
+//! everywhere.
+
+use mincut_bench::instances::{fig2_grid, realworld_proxies, Scale};
+use mincut_bench::runner::{fig2_algorithms, run_avg};
+use mincut_bench::table::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = scale.repetitions();
+    println!("== Figure 4: performance profile t_best/t_algo (scale {scale:?}) ==\n");
+
+    let algorithms = fig2_algorithms();
+    // All instances: the RHG grid plus the real-world proxies.
+    let mut instances = Vec::new();
+    for (_, _, inst) in fig2_grid(scale) {
+        instances.push(inst);
+    }
+    instances.extend(realworld_proxies(scale));
+
+    // times[a][i] = seconds of algorithm a on instance i.
+    let mut times = vec![Vec::new(); algorithms.len()];
+    for inst in &instances {
+        eprintln!("[instance {} : n={} m={}]", inst.name, inst.graph.n(), inst.graph.m());
+        let mut reference = None;
+        for (ai, &algo) in algorithms.iter().enumerate() {
+            let (value, secs) = run_avg(&inst.graph, algo, reps, 13);
+            match reference {
+                None => reference = Some(value),
+                Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),
+            }
+            times[ai].push(secs);
+        }
+    }
+
+    let n_inst = instances.len();
+    let best: Vec<f64> = (0..n_inst)
+        .map(|i| {
+            times
+                .iter()
+                .map(|t| t[i])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    let mut table = Table::new(&["algorithm", "instance_rank", "ratio_best_over_algo"]);
+    for (ai, algo) in algorithms.iter().enumerate() {
+        let mut ratios: Vec<f64> = (0..n_inst).map(|i| best[i] / times[ai][i]).collect();
+        // The paper sorts each algorithm's ratios in increasing order.
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (rank, r) in ratios.iter().enumerate() {
+            table.row(vec![
+                algo.to_string(),
+                (rank + 1).to_string(),
+                format!("{r:.3}"),
+            ]);
+        }
+        let fastest_on = ratios.iter().filter(|&&r| r > 0.999).count();
+        println!(
+            "{:<22} fastest on {fastest_on}/{n_inst} instances, median ratio {:.3}",
+            algo.to_string(),
+            ratios[n_inst / 2]
+        );
+    }
+    println!();
+    table.emit("fig4_profile");
+}

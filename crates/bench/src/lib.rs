@@ -1,0 +1,6 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md, "Per-experiment index").
+
+pub mod instances;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,248 @@
+//! The CAPFOREST scan of Nagamochi, Ono and Ibaraki, with the paper's
+//! λ̂-bounded priority queue optimisation (§3.1.2, Lemma 3.1).
+//!
+//! One pass scans the whole graph in maximum-adjacency-like order: it
+//! repeatedly pops the vertex `x` most strongly connected (`r(x)`) to the
+//! already-scanned set and raises `r(y)` by `c(x, y)` for every unscanned
+//! neighbour `y`. While scanning the edge `(x, y)` the lower bound
+//! `q(x, y) = r(y)` certifies `q(e) ≤ λ(G, x, y)`, so any edge whose `r`
+//! value crosses the current upper bound λ̂ (`r(y) < λ̂ ≤ r(y) + c(e)`)
+//! connects two vertices with connectivity ≥ λ̂ and is *marked contractible*
+//! in a union-find structure (the graph itself is untouched; collapsing
+//! happens in a postprocessing step, §3.2).
+//!
+//! The pass simultaneously tracks `α`, the value of the cut between the
+//! scanned prefix and the rest, and lowers λ̂ whenever a prefix cut beats
+//! it (lines 14–15 of Algorithm 1) — for the first scanned vertex this is
+//! exactly the trivial degree cut.
+//!
+//! With the bound enabled, queue priorities are capped at λ̂
+//! (`Q(y) ← min(r(y), λ̂)`): vertices whose priority already reached λ̂ stop
+//! paying queue updates. Lemma 3.1 of the paper shows the marked edges are
+//! still safely contractible.
+
+use mincut_ds::{MaxPq, UnionFind};
+use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+
+/// Outcome of one CAPFOREST pass.
+pub struct CapforestOutcome {
+    /// Union-find over the current graph's vertices; non-singleton blocks
+    /// are the marked contractions.
+    pub uf: UnionFind,
+    /// Number of successful unions (0 means the pass found nothing; the
+    /// caller falls back to a Stoer–Wagner phase for guaranteed progress).
+    pub unions: usize,
+    /// Possibly improved upper bound λ̂ (minimum over the input bound and
+    /// all proper prefix cuts α seen during the scan).
+    pub lambda_hat: EdgeWeight,
+    /// Scan order of the pass (vertices in the order they were scanned).
+    pub scan_order: Vec<NodeId>,
+    /// If the pass improved λ̂, the length of the prefix of `scan_order`
+    /// that witnesses the best cut.
+    pub best_prefix_len: Option<usize>,
+}
+
+impl CapforestOutcome {
+    /// The witness side of the improved bound, if any: the scanned prefix.
+    pub fn best_prefix(&self) -> Option<&[NodeId]> {
+        self.best_prefix_len.map(|l| &self.scan_order[..l])
+    }
+}
+
+/// Runs one CAPFOREST pass over `g` starting from `start`.
+///
+/// * `lambda_hat` — current upper bound on the minimum cut (the trivial
+///   minimum-degree bound, a VieCut result, or the bound carried over from
+///   earlier passes).
+/// * `bounded` — if true, queue priorities are capped at λ̂ (the paper's
+///   NOIλ̂ variants); if false, priorities are exact `r` values (plain
+///   NOI-HNSS). Bucket queues require `bounded` (their bucket count is the
+///   priority range).
+///
+/// Works on disconnected graphs too: vertices unreachable from `start` are
+/// simply never scanned (the parallel driver handles restarts; the
+/// sequential driver pre-splits components).
+pub fn capforest<P: MaxPq>(
+    g: &CsrGraph,
+    lambda_hat: EdgeWeight,
+    start: NodeId,
+    bounded: bool,
+) -> CapforestOutcome {
+    let n = g.n();
+    assert!((start as usize) < n);
+    let mut uf = UnionFind::new(n);
+    let mut unions = 0usize;
+    let mut lambda = lambda_hat;
+    let mut r = vec![0 as EdgeWeight; n];
+    let mut visited = vec![false; n];
+    let mut q = P::new();
+    // Bucket queues allocate `max_priority + 1` buckets; the priorities we
+    // feed are capped at the *initial* λ̂ (λ̂ only decreases during a pass).
+    q.reset(n, if bounded { lambda_hat } else { u64::MAX });
+
+    let mut scan_order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut best_prefix_len: Option<usize> = None;
+    let mut alpha: i128 = 0;
+
+    q.push(start, 0);
+    while let Some((x, _)) = q.pop_max() {
+        visited[x as usize] = true;
+        scan_order.push(x);
+        // α tracks c(scanned, unscanned): scanning x adds its edges to the
+        // outside and removes the (doubled) edges into the prefix.
+        alpha += g.weighted_degree(x) as i128 - 2 * r[x as usize] as i128;
+        debug_assert!(alpha >= 0);
+        // A proper prefix (not all of V) is a real cut; compare to λ̂.
+        if scan_order.len() < n && (alpha as u64) < lambda {
+            lambda = alpha as u64;
+            best_prefix_len = Some(scan_order.len());
+        }
+        for (y, w) in g.arcs(x) {
+            if visited[y as usize] {
+                continue;
+            }
+            let ry = r[y as usize];
+            // Line 17: the scanned edge certifies connectivity ≥ λ̂ exactly
+            // when r(y) crosses the bound.
+            if ry < lambda && lambda <= ry + w && uf.union(x, y) {
+                unions += 1;
+            }
+            r[y as usize] = ry + w;
+            let prio = if bounded { (ry + w).min(lambda) } else { ry + w };
+            if q.contains(y) {
+                // λ̂ may have dropped below the priority stored earlier in
+                // the pass; keys are kept monotone (never lowered), which
+                // only affects tie-breaking among vertices that already
+                // reached the bound (see Lemma 3.1 — any such vertex is a
+                // valid next scan).
+                if prio > q.priority(y) {
+                    q.raise(y, prio);
+                }
+            } else {
+                q.push(y, prio);
+            }
+        }
+    }
+
+    CapforestOutcome {
+        uf,
+        unions,
+        lambda_hat: lambda,
+        scan_order,
+        best_prefix_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq};
+    use mincut_graph::generators::known;
+
+    fn run_all_queues(g: &CsrGraph, lambda_hat: EdgeWeight) -> Vec<CapforestOutcome> {
+        vec![
+            capforest::<BStackPq>(g, lambda_hat, 0, true),
+            capforest::<BQueuePq>(g, lambda_hat, 0, true),
+            capforest::<BinaryHeapPq>(g, lambda_hat, 0, true),
+            capforest::<BinaryHeapPq>(g, lambda_hat, 0, false),
+        ]
+    }
+
+    #[test]
+    fn scans_every_vertex_of_connected_graph() {
+        let (g, _) = known::grid_graph(4, 5, 1);
+        for out in run_all_queues(&g, g.min_weighted_degree().unwrap().1) {
+            assert_eq!(out.scan_order.len(), g.n());
+        }
+    }
+
+    #[test]
+    fn first_prefix_cut_is_start_degree() {
+        let (g, _) = known::star_graph(6, 3);
+        // Start at a leaf: its degree 3 is a prefix cut; λ̂ = 100 improves.
+        let out = capforest::<BinaryHeapPq>(&g, 100, 1, true);
+        assert!(out.lambda_hat <= 3);
+        let side_len = out.best_prefix_len.unwrap();
+        let side = &out.scan_order[..side_len];
+        let mut bits = vec![false; g.n()];
+        for &v in side {
+            bits[v as usize] = true;
+        }
+        assert_eq!(g.cut_value(&bits), out.lambda_hat);
+    }
+
+    #[test]
+    fn prefix_cuts_never_beat_minimum_cut() {
+        // λ̂ can never drop below λ because every α is a real cut.
+        let (g, lambda) = known::two_communities(5, 5, 2, 2, 1);
+        for out in run_all_queues(&g, g.min_weighted_degree().unwrap().1) {
+            assert!(out.lambda_hat >= lambda);
+        }
+    }
+
+    #[test]
+    fn marked_edges_have_connectivity_at_least_lambda_hat() {
+        // Exhaustively verify the certificate on a small weighted graph:
+        // every marked pair (u, v) must have min s-t cut ≥ λ̂ at marking
+        // time ≥ final λ̂... we check against the *initial* λ̂ lowered to
+        // the final one, the weakest sound claim, using max-flow.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1, 4),
+                (1, 2, 4),
+                (2, 0, 4),
+                (3, 4, 4),
+                (4, 5, 4),
+                (5, 3, 4),
+                (0, 3, 1),
+                (1, 4, 1),
+            ],
+        );
+        let delta = g.min_weighted_degree().unwrap().1;
+        for out in run_all_queues(&g, delta) {
+            let mut uf = out.uf.clone();
+            for u in 0..g.n() as NodeId {
+                for v in 0..u {
+                    if uf.same(u, v) {
+                        let (cut, _) = mincut_flow::min_st_cut(&g, u, v);
+                        assert!(
+                            cut >= out.lambda_hat,
+                            "marked pair ({u},{v}) has connectivity {cut} < λ̂ {}",
+                            out.lambda_hat
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_scans_one_component() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1), (1, 2, 1), (3, 4, 1)]);
+        let out = capforest::<BinaryHeapPq>(&g, 10, 0, true);
+        assert_eq!(out.scan_order.len(), 3);
+        // The full scanned component is a proper prefix with cut 0.
+        assert_eq!(out.lambda_hat, 0);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let out = capforest::<BinaryHeapPq>(&g, 5, 0, true);
+        assert_eq!(out.scan_order, vec![0]);
+        assert_eq!(out.lambda_hat, 5); // no proper prefix exists
+        assert_eq!(out.unions, 0);
+    }
+
+    #[test]
+    fn unbounded_and_bounded_agree_on_lambda_when_no_capping() {
+        // With λ̂ far above all priorities, bounded == unbounded behaviour.
+        let (g, _) = known::grid_graph(5, 5, 2);
+        let a = capforest::<BinaryHeapPq>(&g, 1_000_000, 0, true);
+        let b = capforest::<BinaryHeapPq>(&g, 1_000_000, 0, false);
+        assert_eq!(a.lambda_hat, b.lambda_hat);
+        assert_eq!(a.scan_order, b.scan_order);
+        assert_eq!(a.unions, b.unions);
+    }
+}

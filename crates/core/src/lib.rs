@@ -1,0 +1,308 @@
+//! # mincut-core — shared-memory exact minimum cuts
+//!
+//! A faithful, from-scratch Rust implementation of *"Shared-memory Exact
+//! Minimum Cuts"* (Henzinger, Noe, Schulz; IPDPS 2019), including every
+//! algorithm the paper builds on, optimises or compares against:
+//!
+//! | Paper name | Here |
+//! |---|---|
+//! | CAPFOREST (NOI scan, λ̂-bounded queues, Lemma 3.1) | [`capforest`] |
+//! | NOI-HNSS, NOIλ̂-{BStack, BQueue, Heap} (±VieCut) | [`noi`] |
+//! | Parallel CAPFOREST (Algorithm 1) | [`parallel::capforest`] |
+//! | ParCut (Algorithm 2) | [`parallel::mincut`] |
+//! | VieCut (label propagation + Padberg–Rinaldi multilevel) | [`viecut`] |
+//! | Stoer–Wagner | [`stoer_wagner`] |
+//! | Karger–Stein | [`karger_stein`] |
+//! | Matula (2+ε)-approximation (§5 future work) | [`matula`] |
+//!
+//! The flow-based comparator (Hao–Orlin, HO-CGKLS) lives in the companion
+//! crate `mincut-flow` and is re-exported through the unified front door
+//! [`minimum_cut`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mincut_core::{minimum_cut, Algorithm};
+//! use mincut_graph::CsrGraph;
+//!
+//! // A square with one heavy diagonal.
+//! let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]);
+//! let result = minimum_cut(&g, Algorithm::default());
+//! assert_eq!(result.value, 2);
+//! let side = result.side.unwrap();
+//! assert_eq!(g.cut_value(&side), 2);
+//! ```
+
+pub mod capforest;
+pub mod karger_stein;
+pub mod matula;
+pub mod noi;
+pub mod parallel;
+mod partition;
+pub mod stoer_wagner;
+pub mod viecut;
+
+pub use mincut_ds::PqKind;
+pub use partition::Membership;
+
+use mincut_graph::{CsrGraph, EdgeWeight};
+
+/// A minimum cut: its value and (optionally) a witness side over the
+/// original vertex set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCutResult {
+    /// The cut value. For the exact algorithms this is λ(G); for VieCut /
+    /// Karger–Stein / Matula it is the value of an actual cut ≥ λ(G) with
+    /// the respective quality guarantee.
+    pub value: EdgeWeight,
+    /// `side[v] == true` for the vertices on one side of the cut, if
+    /// witness tracking was enabled (it is, through this front door).
+    pub side: Option<Vec<bool>>,
+}
+
+impl MinCutResult {
+    /// Checks the witness against the graph: proper cut, value matches.
+    pub fn verify(&self, g: &CsrGraph) -> bool {
+        match &self.side {
+            None => false,
+            Some(side) => g.is_proper_cut(side) && g.cut_value(side) == self.value,
+        }
+    }
+}
+
+/// Algorithm selector for [`minimum_cut`], named after the variants in the
+/// paper's evaluation (§4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Algorithm {
+    /// NOI with an unbounded binary heap — the implementation of
+    /// Henzinger, Noe, Schulz and Strash that the paper starts from.
+    NoiHnss,
+    /// NOI-HNSS seeded with the VieCut bound (NOI-HNSS-VieCut).
+    NoiHnssVieCut,
+    /// NOIλ̂: priorities capped at λ̂, with the chosen queue (§3.1.2–3.1.3).
+    NoiBounded { pq: PqKind },
+    /// NOIλ̂ seeded with the VieCut bound (NOIλ̂-·-VieCut) — the paper's
+    /// fastest sequential configuration with `pq = Heap`.
+    NoiBoundedVieCut { pq: PqKind },
+    /// ParCutλ̂: the shared-memory parallel Algorithm 2.
+    ParCut { pq: PqKind, threads: usize },
+    /// Stoer–Wagner (comparator).
+    StoerWagner,
+    /// Hao–Orlin (flow-based comparator, HO-CGKLS).
+    HaoOrlin,
+    /// Gomory–Hu cut tree (Gusfield construction): n−1 max-flows; the
+    /// classical flow reduction the paper's related work (§2.2) starts
+    /// from. Far slower, but also yields *all pairwise* min cuts.
+    GomoryHu,
+    /// Karger–Stein random contraction (Monte-Carlo comparator).
+    KargerStein { repetitions: usize },
+    /// Matula's (2+ε)-approximation (inexact; §5 future-work extension).
+    Matula { epsilon: f64 },
+    /// VieCut (inexact multilevel heuristic; upper bound, usually exact).
+    VieCut,
+}
+
+impl Default for Algorithm {
+    /// The paper's recommended sequential configuration:
+    /// NOIλ̂-Heap-VieCut.
+    fn default() -> Self {
+        Algorithm::NoiBoundedVieCut { pq: PqKind::Heap }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::NoiHnss => write!(f, "NOI-HNSS"),
+            Algorithm::NoiHnssVieCut => write!(f, "NOI-HNSS-VieCut"),
+            Algorithm::NoiBounded { pq } => write!(f, "NOIλ̂-{pq}"),
+            Algorithm::NoiBoundedVieCut { pq } => write!(f, "NOIλ̂-{pq}-VieCut"),
+            Algorithm::ParCut { pq, threads } => write!(f, "ParCutλ̂-{pq}(p={threads})"),
+            Algorithm::StoerWagner => write!(f, "StoerWagner"),
+            Algorithm::HaoOrlin => write!(f, "HO-CGKLS"),
+            Algorithm::GomoryHu => write!(f, "GomoryHu"),
+            Algorithm::KargerStein { repetitions } => write!(f, "KargerStein(r={repetitions})"),
+            Algorithm::Matula { epsilon } => write!(f, "Matula(ε={epsilon})"),
+            Algorithm::VieCut => write!(f, "VieCut"),
+        }
+    }
+}
+
+/// Computes a minimum cut of `g` with the chosen algorithm and a default
+/// seed. Panics if `g` has fewer than two vertices. Disconnected graphs
+/// yield value 0 with a component witness.
+pub fn minimum_cut(g: &CsrGraph, algorithm: Algorithm) -> MinCutResult {
+    minimum_cut_seeded(g, algorithm, 0xC0FFEE)
+}
+
+/// [`minimum_cut`] with an explicit seed for the randomised components
+/// (start vertices, label propagation orders, Karger–Stein contractions).
+pub fn minimum_cut_seeded(g: &CsrGraph, algorithm: Algorithm, seed: u64) -> MinCutResult {
+    assert!(g.n() >= 2, "minimum cut needs at least two vertices");
+    match algorithm {
+        Algorithm::NoiHnss => noi::noi_minimum_cut(
+            g,
+            &noi::NoiConfig {
+                seed,
+                ..noi::NoiConfig::hnss()
+            },
+        ),
+        Algorithm::NoiHnssVieCut => {
+            let bound = viecut_bound(g, seed);
+            noi::noi_minimum_cut(
+                g,
+                &noi::NoiConfig {
+                    seed,
+                    initial_bound: Some(bound),
+                    ..noi::NoiConfig::hnss()
+                },
+            )
+        }
+        Algorithm::NoiBounded { pq } => noi::noi_minimum_cut(
+            g,
+            &noi::NoiConfig {
+                seed,
+                ..noi::NoiConfig::bounded(pq)
+            },
+        ),
+        Algorithm::NoiBoundedVieCut { pq } => {
+            let bound = viecut_bound(g, seed);
+            noi::noi_minimum_cut(
+                g,
+                &noi::NoiConfig {
+                    seed,
+                    initial_bound: Some(bound),
+                    ..noi::NoiConfig::bounded(pq)
+                },
+            )
+        }
+        Algorithm::ParCut { pq, threads } => parallel::mincut::parallel_minimum_cut(
+            g,
+            &parallel::mincut::ParCutConfig {
+                pq,
+                threads,
+                seed,
+                ..Default::default()
+            },
+        ),
+        Algorithm::StoerWagner => stoer_wagner::stoer_wagner(g),
+        Algorithm::HaoOrlin => {
+            let r = mincut_flow::hao_orlin(g);
+            MinCutResult {
+                value: r.value,
+                side: Some(r.side),
+            }
+        }
+        Algorithm::GomoryHu => {
+            let tree = mincut_flow::GomoryHuTree::build(g);
+            let (value, side) = tree.global_min_cut();
+            MinCutResult {
+                value,
+                side: Some(side.to_vec()),
+            }
+        }
+        Algorithm::KargerStein { repetitions } => karger_stein::karger_stein(
+            g,
+            &karger_stein::KargerSteinConfig {
+                repetitions,
+                seed,
+                compute_side: true,
+            },
+        ),
+        Algorithm::Matula { epsilon } => matula::matula_approx(
+            g,
+            &matula::MatulaConfig {
+                epsilon,
+                seed,
+                ..Default::default()
+            },
+        ),
+        Algorithm::VieCut => viecut::viecut(
+            g,
+            &viecut::VieCutConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+fn viecut_bound(g: &CsrGraph, seed: u64) -> (EdgeWeight, Option<Vec<bool>>) {
+    let vc = viecut::viecut(
+        g,
+        &viecut::VieCutConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    (vc.value, vc.side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+
+    fn exact_algorithms() -> Vec<Algorithm> {
+        let mut v = vec![
+            Algorithm::NoiHnss,
+            Algorithm::NoiHnssVieCut,
+            Algorithm::StoerWagner,
+            Algorithm::HaoOrlin,
+        ];
+        for pq in PqKind::ALL {
+            v.push(Algorithm::NoiBounded { pq });
+            v.push(Algorithm::NoiBoundedVieCut { pq });
+            v.push(Algorithm::ParCut { pq, threads: 2 });
+        }
+        v
+    }
+
+    #[test]
+    fn all_exact_algorithms_agree_on_known_family() {
+        let (g, l) = known::two_communities(9, 7, 2, 3, 1);
+        for algo in exact_algorithms() {
+            let name = algo.to_string();
+            let r = minimum_cut(&g, algo);
+            assert_eq!(r.value, l, "{name}");
+            assert!(r.verify(&g), "{name} witness");
+        }
+    }
+
+    #[test]
+    fn inexact_algorithms_respect_their_guarantees() {
+        let (g, l) = known::ring_of_cliques(6, 6, 2, 1);
+        let vc = minimum_cut(&g, Algorithm::VieCut);
+        assert!(vc.value >= l && vc.verify(&g));
+        let ks = minimum_cut(&g, Algorithm::KargerStein { repetitions: 10 });
+        assert!(ks.value >= l && ks.verify(&g));
+        let ma = minimum_cut(&g, Algorithm::Matula { epsilon: 0.5 });
+        assert!(ma.value >= l && ma.value <= (2 * l) + l / 2 && ma.verify(&g));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Algorithm::NoiHnss.to_string(), "NOI-HNSS");
+        assert_eq!(
+            Algorithm::NoiBounded { pq: PqKind::BStack }.to_string(),
+            "NOIλ̂-BStack"
+        );
+        assert_eq!(Algorithm::default().to_string(), "NOIλ̂-Heap-VieCut");
+        assert_eq!(Algorithm::HaoOrlin.to_string(), "HO-CGKLS");
+    }
+
+    #[test]
+    fn verify_rejects_bad_witnesses() {
+        let (g, _) = known::cycle_graph(5, 1);
+        let bad = MinCutResult {
+            value: 2,
+            side: Some(vec![true; 5]), // improper
+        };
+        assert!(!bad.verify(&g));
+        let none = MinCutResult {
+            value: 2,
+            side: None,
+        };
+        assert!(!none.verify(&g));
+    }
+}

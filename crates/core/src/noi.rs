@@ -1,0 +1,321 @@
+//! The exact minimum-cut driver of Nagamochi, Ono and Ibaraki, with the
+//! paper's sequential optimisations (§3.1).
+//!
+//! Repeats: one CAPFOREST pass marks contractible edges → collapse the
+//! marked blocks → tighten λ̂ with the trivial cuts of the contracted
+//! graph → stop at two vertices. Variants:
+//!
+//! * **NOI-HNSS** — unbounded binary heap (the implementation of Henzinger
+//!   et al. that the paper builds on);
+//! * **NOIλ̂-Heap / NOIλ̂-BStack / NOIλ̂-BQueue** — priorities capped at λ̂
+//!   with the three queue implementations of §3.1.3;
+//! * **…-VieCut** — seed λ̂ with the result of the inexact VieCut algorithm
+//!   instead of the minimum-degree bound (§3.1.1), which unlocks far more
+//!   contractions per pass.
+
+use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, PqKind};
+use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::capforest::{capforest, CapforestOutcome};
+use crate::partition::Membership;
+use crate::stoer_wagner::stoer_wagner_phase;
+use crate::MinCutResult;
+
+/// Bucket queues hold `λ̂ + 1` buckets; above this bound the driver falls
+/// back to the heap for the affected pass to avoid absurd allocations
+/// (only reachable with large weighted degrees; the paper's instances are
+/// unweighted so bounds stay small).
+const MAX_BUCKET_BOUND: EdgeWeight = 1 << 26;
+
+/// Configuration for [`noi_minimum_cut`].
+#[derive(Clone, Debug)]
+pub struct NoiConfig {
+    /// Which priority queue to use.
+    pub pq: PqKind,
+    /// Cap queue priorities at λ̂ (the paper's central optimisation).
+    pub bounded: bool,
+    /// Optional initial bound (value and witness side over g's vertices),
+    /// typically the VieCut result. The value must be the value of an
+    /// actual cut of `g`; otherwise correctness is lost.
+    pub initial_bound: Option<(EdgeWeight, Option<Vec<bool>>)>,
+    /// Track and return the cut side (small overhead; benches disable it).
+    pub compute_side: bool,
+    /// Seed for the random start vertex of each pass.
+    pub seed: u64,
+}
+
+impl Default for NoiConfig {
+    fn default() -> Self {
+        NoiConfig {
+            pq: PqKind::Heap,
+            bounded: true,
+            initial_bound: None,
+            compute_side: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl NoiConfig {
+    /// The paper's NOI-HNSS comparator: unbounded binary heap.
+    pub fn hnss() -> Self {
+        NoiConfig {
+            pq: PqKind::Heap,
+            bounded: false,
+            ..Default::default()
+        }
+    }
+
+    /// NOIλ̂ with the given queue.
+    pub fn bounded(pq: PqKind) -> Self {
+        NoiConfig {
+            pq,
+            bounded: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Exact minimum cut via NOI. Requires n ≥ 2; handles disconnected inputs.
+pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
+    assert!(g.n() >= 2, "minimum cut needs at least two vertices");
+    let (comp, ncomp) = mincut_graph::components::connected_components(g);
+    if ncomp > 1 {
+        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        return MinCutResult {
+            value: 0,
+            side: cfg.compute_side.then_some(side),
+        };
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Initial bound: minimum weighted degree (the trivial cut), possibly
+    // beaten by a supplied bound (VieCut).
+    let (dv, ddeg) = g.min_weighted_degree().expect("n >= 2");
+    let mut lambda: EdgeWeight = ddeg;
+    let mut best_side: Option<Vec<bool>> = cfg.compute_side.then(|| {
+        let mut side = vec![false; g.n()];
+        side[dv as usize] = true;
+        side
+    });
+    if let Some((b, bside)) = &cfg.initial_bound {
+        if let Some(s) = bside {
+            // The contract on `initial_bound`: the value must be the value
+            // of an actual cut, or correctness is lost.
+            debug_assert_eq!(g.cut_value(s), *b, "initial bound witness must match its value");
+        }
+        if *b < lambda {
+            lambda = *b;
+            if cfg.compute_side {
+                best_side = Some(
+                    bside
+                        .clone()
+                        .unwrap_or_else(|| panic!("initial bound without witness while compute_side is on")),
+                );
+            }
+        }
+    }
+
+    let mut current = g.clone();
+    let mut membership = Membership::identity(g.n());
+
+    while current.n() > 2 {
+        let start = rng.gen_range(0..current.n() as NodeId);
+        let out = run_pass(&current, lambda, start, cfg);
+
+        // Prefix cuts found by the scan.
+        if out.lambda_hat < lambda {
+            lambda = out.lambda_hat;
+            if cfg.compute_side {
+                let prefix = out.best_prefix().expect("improvement implies witness");
+                best_side = Some(membership.side_of_vertices(prefix));
+            }
+        }
+
+        let mut uf = out.uf;
+        if out.unions == 0 {
+            // Bounded/parallel scans may come up empty (§3.2: "we can not
+            // guarantee anymore that the algorithm actually finds a
+            // contractible edge"). One Stoer–Wagner phase restores the
+            // guarantee: its cut-of-phase is recorded and its last pair is
+            // always safely contractible.
+            let phase = stoer_wagner_phase(&current, start);
+            if phase.cut_of_phase < lambda {
+                lambda = phase.cut_of_phase;
+                if cfg.compute_side {
+                    best_side = Some(membership.side_of_vertices(&[phase.t]));
+                }
+            }
+            uf.union(phase.s, phase.t);
+        }
+
+        let (labels, blocks) = uf.dense_labels();
+        debug_assert!(blocks < current.n(), "every round must make progress");
+        current = contract::contract(&current, &labels, blocks);
+        membership.contract(&labels, blocks);
+
+        // Trivial cuts of the contracted graph (§3.2: "If the collapsed
+        // graph G_C has a minimum degree of less than λ̂, we update λ̂").
+        // A fully collapsed graph (n = 1) has no cuts at all.
+        if let Some((v, d)) = current.min_weighted_degree() {
+            if current.n() >= 2 && d < lambda {
+                lambda = d;
+                if cfg.compute_side {
+                    best_side = Some(membership.side_of_vertices(&[v]));
+                }
+            }
+        }
+    }
+
+    // Two vertices left: the remaining cut is both vertices' degree cut,
+    // already covered by the min-degree update above.
+    MinCutResult {
+        value: lambda,
+        side: best_side,
+    }
+}
+
+fn run_pass(g: &CsrGraph, lambda: EdgeWeight, start: NodeId, cfg: &NoiConfig) -> CapforestOutcome {
+    if !cfg.bounded {
+        // Unbounded priorities require the heap.
+        return capforest::<BinaryHeapPq>(g, lambda, start, false);
+    }
+    match cfg.pq {
+        PqKind::Heap => capforest::<BinaryHeapPq>(g, lambda, start, true),
+        PqKind::BStack if lambda <= MAX_BUCKET_BOUND => {
+            capforest::<BStackPq>(g, lambda, start, true)
+        }
+        PqKind::BQueue if lambda <= MAX_BUCKET_BOUND => {
+            capforest::<BQueuePq>(g, lambda, start, true)
+        }
+        // Bound too large for bucket arrays: use the heap for this pass.
+        _ => capforest::<BinaryHeapPq>(g, lambda, start, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+
+    fn all_variants() -> Vec<NoiConfig> {
+        let mut v = vec![NoiConfig::hnss()];
+        for pq in PqKind::ALL {
+            v.push(NoiConfig::bounded(pq));
+        }
+        v
+    }
+
+    fn check_all(g: &CsrGraph, expected: EdgeWeight) {
+        for cfg in all_variants() {
+            let r = noi_minimum_cut(g, &cfg);
+            assert_eq!(r.value, expected, "value mismatch for {cfg:?}");
+            let side = r.side.expect("witness requested");
+            assert!(g.is_proper_cut(&side), "improper witness for {cfg:?}");
+            assert_eq!(g.cut_value(&side), expected, "witness mismatch for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn known_families_all_variants() {
+        check_all(&known::path_graph(9, 2).0, 2);
+        check_all(&known::cycle_graph(11, 3).0, 6);
+        check_all(&known::complete_graph(8, 1).0, 7);
+        check_all(&known::star_graph(7, 5).0, 5);
+        check_all(&known::grid_graph(4, 6, 2).0, 4);
+        let (g, l) = known::two_communities(7, 5, 2, 3, 1);
+        check_all(&g, l);
+        let (g, l) = known::ring_of_cliques(5, 4, 3, 1);
+        check_all(&g, l);
+        let (g, l) = known::barbell(8, 8, 2, 5);
+        check_all(&g, l);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(4242);
+        for trial in 0..40 {
+            let n = rng.gen_range(4..10);
+            let mut edges = Vec::new();
+            for v in 1..n as NodeId {
+                edges.push((rng.gen_range(0..v), v, rng.gen_range(1..8)));
+            }
+            for _ in 0..rng.gen_range(0..14) {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                if u != v {
+                    edges.push((u, v, rng.gen_range(1..8)));
+                }
+            }
+            let g = CsrGraph::from_edges(n, &edges);
+            let expected = known::brute_force_mincut(&g);
+            check_all(&g, expected);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn loose_initial_bound_does_not_change_result() {
+        // An honest but loose initial bound (a trivial cut worse than the
+        // minimum-degree cut) must not change the result.
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1);
+        let mut side0 = vec![false; g.n()];
+        side0[0] = true;
+        let mut cfg = NoiConfig::bounded(PqKind::Heap);
+        cfg.initial_bound = Some((g.cut_value(&side0), Some(side0)));
+        let r = noi_minimum_cut(&g, &cfg);
+        assert_eq!(r.value, l);
+        assert_eq!(g.cut_value(&r.side.unwrap()), l);
+    }
+
+    #[test]
+    fn tight_initial_bound_short_circuits_correctly() {
+        // Bound exactly λ with a witness: the result must keep value λ and
+        // return a valid witness (possibly the provided one).
+        let (g, l) = known::two_communities(6, 6, 2, 2, 1);
+        // Construct the true witness: first clique on one side.
+        let mut side = vec![false; g.n()];
+        side[..6].fill(true);
+        assert_eq!(g.cut_value(&side), l);
+        let mut cfg = NoiConfig::bounded(PqKind::BQueue);
+        cfg.initial_bound = Some((l, Some(side)));
+        let r = noi_minimum_cut(&g, &cfg);
+        assert_eq!(r.value, l);
+        assert_eq!(g.cut_value(&r.side.unwrap()), l);
+    }
+
+    #[test]
+    fn disconnected_input() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        for cfg in all_variants() {
+            let r = noi_minimum_cut(&g, &cfg);
+            assert_eq!(r.value, 0);
+            assert_eq!(g.cut_value(&r.side.unwrap()), 0);
+        }
+    }
+
+    #[test]
+    fn no_side_mode() {
+        let (g, l) = known::cycle_graph(20, 2);
+        let cfg = NoiConfig {
+            compute_side: false,
+            ..NoiConfig::bounded(PqKind::BStack)
+        };
+        let r = noi_minimum_cut(&g, &cfg);
+        assert_eq!(r.value, l);
+        assert!(r.side.is_none());
+    }
+
+    #[test]
+    fn weighted_heavy_graph_uses_heap_fallback() {
+        // Bound above MAX_BUCKET_BOUND forces the per-pass heap fallback.
+        let (g, l) = known::two_communities(5, 5, 1, 1 << 30, 1 << 27);
+        let cfg = NoiConfig::bounded(PqKind::BStack);
+        let r = noi_minimum_cut(&g, &cfg);
+        assert_eq!(r.value, l);
+    }
+}

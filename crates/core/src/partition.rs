@@ -1,0 +1,129 @@
+//! Tracking cut witnesses through rounds of contraction.
+//!
+//! Section 3.3 of the paper: "If we also want to output the minimum cut,
+//! for each collapsed vertex v_C in G_C we store which vertices of G are
+//! included in v_C. When we update λ̂, we store which vertices are
+//! contained in the minimum cut." [`Membership`] is exactly that bookkeeping:
+//! one list of original vertices per current vertex, merged on contraction
+//! (total size stays n, so a full contraction history costs O(n) memory).
+
+use mincut_graph::NodeId;
+
+/// Maps every vertex of the *current* (contracted) graph to the original
+/// vertices it contains.
+#[derive(Clone, Debug)]
+pub struct Membership {
+    lists: Vec<Vec<NodeId>>,
+    n_original: usize,
+}
+
+impl Membership {
+    /// Identity membership for an uncontracted graph on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Membership {
+            lists: (0..n as NodeId).map(|v| vec![v]).collect(),
+            n_original: n,
+        }
+    }
+
+    /// Number of current (contracted) vertices.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Number of original vertices.
+    pub fn n_original(&self) -> usize {
+        self.n_original
+    }
+
+    /// Original vertices contained in current vertex `v`.
+    pub fn members(&self, v: NodeId) -> &[NodeId] {
+        &self.lists[v as usize]
+    }
+
+    /// Applies one contraction round: current vertex `v` moves into block
+    /// `labels[v]`; blocks are the vertices of the next graph.
+    pub fn contract(&mut self, labels: &[NodeId], num_blocks: usize) {
+        assert_eq!(labels.len(), self.lists.len());
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); num_blocks];
+        for (v, list) in self.lists.drain(..).enumerate() {
+            let b = labels[v] as usize;
+            if next[b].is_empty() {
+                next[b] = list; // reuse the allocation of the first member
+            } else {
+                next[b].extend_from_slice(&list);
+            }
+        }
+        self.lists = next;
+    }
+
+    /// Expands a set of current vertices into a side bitmap over the
+    /// original vertices.
+    pub fn side_of_vertices(&self, vertices: &[NodeId]) -> Vec<bool> {
+        let mut side = vec![false; self.n_original];
+        for &v in vertices {
+            for &orig in self.members(v) {
+                side[orig as usize] = true;
+            }
+        }
+        side
+    }
+
+    /// Expands a side bitmap over current vertices into one over original
+    /// vertices.
+    pub fn side_of_bitmap(&self, current_side: &[bool]) -> Vec<bool> {
+        assert_eq!(current_side.len(), self.lists.len());
+        let mut side = vec![false; self.n_original];
+        for (v, &s) in current_side.iter().enumerate() {
+            if s {
+                for &orig in self.members(v as NodeId) {
+                    side[orig as usize] = true;
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let m = Membership::identity(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.members(2), &[2]);
+        assert_eq!(m.side_of_vertices(&[1, 3]), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn contract_merges_lists() {
+        let mut m = Membership::identity(5);
+        // Blocks: {0,2,4} -> 0, {1,3} -> 1.
+        m.contract(&[0, 1, 0, 1, 0], 2);
+        assert_eq!(m.len(), 2);
+        let mut b0 = m.members(0).to_vec();
+        b0.sort_unstable();
+        assert_eq!(b0, vec![0, 2, 4]);
+        assert_eq!(m.side_of_vertices(&[1]), vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn two_rounds_compose() {
+        let mut m = Membership::identity(6);
+        m.contract(&[0, 0, 1, 1, 2, 2], 3); // {0,1}, {2,3}, {4,5}
+        m.contract(&[0, 0, 1], 2); // {0,1,2,3}, {4,5}
+        assert_eq!(m.len(), 2);
+        assert_eq!(
+            m.side_of_bitmap(&[false, true]),
+            vec![false, false, false, false, true, true]
+        );
+        assert_eq!(m.n_original(), 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared-memory parallel label propagation (Raghavan et al.), the
+//! clustering engine inside VieCut (§2.4).
+//!
+//! Every vertex starts in its own cluster; in each iteration every vertex
+//! adopts the label with the largest incident edge-weight sum among its
+//! neighbours. Vertices are processed in a random order, in parallel
+//! chunks; label reads are intentionally unsynchronised (the algorithm is
+//! a heuristic — racy reads only change which near-optimal clustering is
+//! found, mirroring the asynchronous implementation the paper builds on).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mincut_ds::hash::FxHashMap;
+use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Runs `iterations` rounds of label propagation; returns dense cluster
+/// labels in `[0, count)` and the cluster count.
+pub fn label_propagation(
+    g: &CsrGraph,
+    iterations: usize,
+    seed: u64,
+) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let labels: Vec<AtomicU32> = (0..n as NodeId).map(AtomicU32::new).collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    for _ in 0..iterations {
+        // New shuffle each round, as in the reference implementation.
+        order = mincut_graph::generators::random_permutation(n, &mut rng)
+            .into_iter()
+            .map(|p| order[p as usize])
+            .collect();
+        const CHUNK: usize = 1 << 10;
+        order.par_chunks(CHUNK).for_each(|chunk| {
+            let mut tally: FxHashMap<NodeId, EdgeWeight> = FxHashMap::default();
+            for &v in chunk {
+                tally.clear();
+                let mut best_label = labels[v as usize].load(Ordering::Relaxed);
+                let mut best_weight = 0;
+                for (u, w) in g.arcs(v) {
+                    let lu = labels[u as usize].load(Ordering::Relaxed);
+                    let e = tally.entry(lu).or_insert(0);
+                    *e += w;
+                    // Deterministic-ish tie-breaking: heavier label wins,
+                    // then the smaller label id.
+                    if *e > best_weight || (*e == best_weight && lu < best_label) {
+                        best_weight = *e;
+                        best_label = lu;
+                    }
+                }
+                if best_weight > 0 {
+                    labels[v as usize].store(best_label, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+
+    // Dense relabelling.
+    const UNSET: NodeId = NodeId::MAX;
+    let mut remap = vec![UNSET; n];
+    let mut out = vec![0 as NodeId; n];
+    let mut next = 0 as NodeId;
+    for v in 0..n {
+        let l = labels[v].load(Ordering::Relaxed) as usize;
+        if remap[l] == UNSET {
+            remap[l] = next;
+            next += 1;
+        }
+        out[v] = remap[l];
+    }
+    (out, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+
+    #[test]
+    fn two_cliques_become_two_clusters() {
+        let (g, _) = known::two_communities(10, 10, 1, 4, 1);
+        let (labels, count) = label_propagation(&g, 3, 7);
+        // The two cliques must be internally uniform.
+        for c in 0..2 {
+            let base = labels[c * 10];
+            for (v, &l) in labels.iter().enumerate().skip(c * 10).take(10) {
+                assert_eq!(l, base, "clique {c} split by LP at vertex {v}");
+            }
+        }
+        assert!(count <= 2, "at most the two cliques remain, got {count}");
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let (g, _) = known::grid_graph(8, 8, 1);
+        let (labels, count) = label_propagation(&g, 2, 3);
+        assert!(count >= 1);
+        let mut seen = vec![false; count];
+        for &l in &labels {
+            assert!((l as usize) < count);
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every cluster id must be used");
+    }
+
+    #[test]
+    fn zero_iterations_is_identity_clustering() {
+        let (g, _) = known::cycle_graph(6, 1);
+        let (labels, count) = label_propagation(&g, 0, 0);
+        assert_eq!(count, 6);
+        assert_eq!(labels, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        let (labels, count) = label_propagation(&g, 2, 0);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Core-crate integration: the full variant matrix (queue × bounding ×
+//! VieCut seeding × parallel) on the structured instance families the
+//! library ships — SBM communities, small worlds, weighted variants —
+//! all agreeing pairwise.
+
+use mincut_core::noi::{noi_minimum_cut, NoiConfig};
+use mincut_core::parallel::mincut::{parallel_minimum_cut, ParCutConfig};
+use mincut_core::viecut::{viecut, VieCutConfig};
+use mincut_core::PqKind;
+use mincut_graph::generators::{planted_partition, randomize_weights, watts_strogatz};
+use mincut_graph::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn variant_matrix(g: &CsrGraph, label: &str) {
+    // Reference: unbounded heap.
+    let reference = noi_minimum_cut(g, &NoiConfig::hnss());
+    assert!(
+        reference.side.as_ref().is_some_and(|s| g.is_proper_cut(s)
+            && g.cut_value(s) == reference.value),
+        "{label}: reference witness"
+    );
+    for pq in PqKind::ALL {
+        for with_viecut in [false, true] {
+            let initial_bound = with_viecut.then(|| {
+                let vc = viecut(
+                    g,
+                    &VieCutConfig {
+                        seed: 9,
+                        ..Default::default()
+                    },
+                );
+                assert!(vc.value >= reference.value, "{label}: VieCut below λ");
+                (vc.value, vc.side)
+            });
+            let r = noi_minimum_cut(
+                g,
+                &NoiConfig {
+                    initial_bound,
+                    ..NoiConfig::bounded(pq)
+                },
+            );
+            assert_eq!(
+                r.value, reference.value,
+                "{label}: NOIλ̂-{pq} viecut={with_viecut}"
+            );
+        }
+        for threads in [1, 4] {
+            let r = parallel_minimum_cut(
+                g,
+                &ParCutConfig {
+                    pq,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.value, reference.value, "{label}: ParCut-{pq} p={threads}");
+            assert!(r.side.is_some_and(|s| g.cut_value(&s) == reference.value));
+        }
+    }
+}
+
+#[test]
+fn matrix_on_planted_partition() {
+    let mut rng = SmallRng::seed_from_u64(100);
+    let g = planted_partition(5, 24, 0.5, 0.02, &mut rng);
+    if mincut_graph::components::is_connected(&g) {
+        variant_matrix(&g, "sbm");
+    }
+    // A weighted variant of the same topology.
+    let w = randomize_weights(&g, 7, &mut rng);
+    if mincut_graph::components::is_connected(&w) {
+        variant_matrix(&w, "sbm-weighted");
+    }
+}
+
+#[test]
+fn matrix_on_small_world() {
+    let mut rng = SmallRng::seed_from_u64(200);
+    let g = watts_strogatz(300, 3, 0.1, &mut rng);
+    variant_matrix(&g, "watts-strogatz");
+    let w = randomize_weights(&g, 4, &mut rng);
+    variant_matrix(&w, "watts-strogatz-weighted");
+}
+
+#[test]
+fn viecut_is_exact_on_strong_communities() {
+    // On well-separated SBM instances VieCut should not just bound but
+    // *equal* the minimum cut (the behaviour the paper relies on: "in
+    // most cases it already finds the minimum cut").
+    let mut rng = SmallRng::seed_from_u64(300);
+    let mut exact_hits = 0;
+    let trials = 6;
+    for t in 0..trials {
+        let g = planted_partition(4, 32, 0.6, 0.01, &mut rng);
+        if !mincut_graph::components::is_connected(&g) {
+            exact_hits += 1; // both report 0
+            continue;
+        }
+        let vc = viecut(
+            &g,
+            &VieCutConfig {
+                seed: t,
+                ..Default::default()
+            },
+        );
+        let exact = noi_minimum_cut(&g, &NoiConfig::default());
+        assert!(vc.value >= exact.value);
+        if vc.value == exact.value {
+            exact_hits += 1;
+        }
+    }
+    assert!(
+        exact_hits >= trials - 1,
+        "VieCut found the exact cut only {exact_hits}/{trials} times on its best-case family"
+    );
+}

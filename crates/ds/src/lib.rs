@@ -1,0 +1,33 @@
+//! # mincut-ds — data structures for shared-memory minimum cut
+//!
+//! This crate provides the data-structure substrate used by the exact
+//! minimum-cut algorithms of the companion crate `mincut-core`, reproducing
+//! the components described in *"Shared-memory Exact Minimum Cuts"*
+//! (Henzinger, Noe, Schulz; IPDPS 2019):
+//!
+//! * three addressable max-priority queues whose choice drives the scan order
+//!   of the CAPFOREST routine (§3.1.3 of the paper):
+//!   [`pq::BStackPq`] (bucket array, LIFO within bucket),
+//!   [`pq::BQueuePq`] (bucket array, FIFO within bucket) and
+//!   [`pq::BinaryHeapPq`] (addressable bottom-up binary heap);
+//! * a sequential [`UnionFind`] and a wait-free [`ConcurrentUnionFind`]
+//!   (Anderson & Woll style) used by the parallel CAPFOREST (Algorithm 1)
+//!   to mark contractible edges from many threads;
+//! * a sharded concurrent hash map [`ShardedMap`] used by parallel graph
+//!   contraction (§3.2) to aggregate the weights of parallel edges;
+//! * a fast non-cryptographic hasher ([`hash::FxHasher`]) so the hot
+//!   contraction loops do not pay SipHash costs.
+//!
+//! All structures are allocation-conscious: queues are created once per
+//! CAPFOREST pass and reused via [`pq::MaxPq::reset`].
+
+pub mod hash;
+pub mod pq;
+mod sharded_map;
+mod union_find;
+
+pub use sharded_map::{pack_edge, unpack_edge, ShardedMap};
+pub use union_find::{ConcurrentUnionFind, UnionFind};
+
+/// Convenience re-export of the priority-queue trait and implementations.
+pub use pq::{take_counters, BQueuePq, BStackPq, BinaryHeapPq, CountingPq, MaxPq, PqCounters, PqKind};

@@ -1,0 +1,160 @@
+//! Deque-backed bucket priority queue (the paper's **BQueue**).
+
+use std::collections::VecDeque;
+
+use super::MaxPq;
+
+/// Bucket max-priority queue with FIFO buckets.
+///
+/// Identical to [`super::BStackPq`] except each bucket is a `VecDeque` and
+/// `pop_max` returns the *oldest* element of the highest non-empty bucket.
+/// The CAPFOREST scan therefore behaves closer to a breadth-first search,
+/// exploring vertices discovered earlier (closer to the source) first
+/// (§3.1.3). The paper finds this variant scales best in the parallel
+/// algorithm because the grown regions are rounder.
+pub struct BQueuePq {
+    buckets: Vec<VecDeque<u32>>,
+    prio: Vec<u64>,
+    in_queue: Vec<bool>,
+    live: usize,
+    top: usize,
+    max_priority: u64,
+}
+
+impl BQueuePq {
+    #[inline]
+    fn bucket_of(&self, prio: u64) -> usize {
+        debug_assert!(
+            prio <= self.max_priority,
+            "priority {prio} exceeds bucket range {}",
+            self.max_priority
+        );
+        prio as usize
+    }
+}
+
+impl MaxPq for BQueuePq {
+    fn new() -> Self {
+        BQueuePq {
+            buckets: Vec::new(),
+            prio: Vec::new(),
+            in_queue: Vec::new(),
+            live: 0,
+            top: 0,
+            max_priority: 0,
+        }
+    }
+
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        let nbuckets = (max_priority as usize).saturating_add(1);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < nbuckets {
+            self.buckets.resize_with(nbuckets, VecDeque::new);
+        }
+        self.prio.clear();
+        self.prio.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.live = 0;
+        self.top = 0;
+        self.max_priority = max_priority;
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        debug_assert!(!self.in_queue[v as usize], "push of vertex already queued");
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.in_queue[v as usize] = true;
+        self.buckets[b].push_back(v);
+        self.live += 1;
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        debug_assert!(self.in_queue[v as usize], "raise of vertex not in queue");
+        let old = self.prio[v as usize];
+        debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
+        if prio == old {
+            return;
+        }
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.buckets[b].push_back(v); // old entry becomes stale
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            match self.buckets[self.top].pop_front() {
+                Some(v) => {
+                    let vi = v as usize;
+                    if self.in_queue[vi] && self.prio[vi] as usize == self.top {
+                        self.in_queue[vi] = false;
+                        self.live -= 1;
+                        return Some((v, self.prio[vi]));
+                    }
+                }
+                None => {
+                    debug_assert!(self.top > 0, "live count says non-empty");
+                    self.top -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.in_queue[v as usize]
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.prio[v as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_across_raises() {
+        let mut q = BQueuePq::new();
+        q.reset(3, 10);
+        q.push(0, 3);
+        q.push(1, 3);
+        q.raise(0, 10); // 0 arrives in bucket 10 first
+        q.raise(1, 10);
+        assert_eq!(q.pop_max(), Some((0, 10)));
+        assert_eq!(q.pop_max(), Some((1, 10)));
+    }
+
+    #[test]
+    fn interleaved_pop_and_push() {
+        let mut q = BQueuePq::new();
+        q.reset(5, 4);
+        q.push(0, 4);
+        q.push(1, 4);
+        assert_eq!(q.pop_max(), Some((0, 4)));
+        q.push(2, 4);
+        assert_eq!(q.pop_max(), Some((1, 4)));
+        assert_eq!(q.pop_max(), Some((2, 4)));
+        assert_eq!(q.pop_max(), None);
+    }
+}

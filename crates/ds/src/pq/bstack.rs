@@ -1,0 +1,176 @@
+//! Vector-backed bucket priority queue (the paper's **BStack**).
+
+use super::MaxPq;
+
+/// Bucket max-priority queue with LIFO buckets.
+///
+/// One bucket per integer priority in `[0, max_priority]`; each bucket is a
+/// `Vec` treated as a stack. `pop_max` returns the *most recently inserted*
+/// element of the highest non-empty bucket, so the CAPFOREST scan immediately
+/// revisits the vertex whose priority it just raised and does not fully
+/// explore local regions (§3.1.3).
+///
+/// Priority raises use *lazy deletion*: the old entry stays in its bucket and
+/// is skipped when popped (recognised by a priority mismatch). Since
+/// CAPFOREST raises each vertex at most once per incident edge, the total
+/// number of stale entries is bounded by the number of scanned edges.
+pub struct BStackPq {
+    buckets: Vec<Vec<u32>>,
+    /// Current priority per vertex (valid while `in_queue`).
+    prio: Vec<u64>,
+    in_queue: Vec<bool>,
+    /// Number of live (non-stale, non-popped) entries.
+    live: usize,
+    /// Highest bucket that may contain a live entry.
+    top: usize,
+    max_priority: u64,
+}
+
+impl BStackPq {
+    #[inline]
+    fn bucket_of(&self, prio: u64) -> usize {
+        debug_assert!(
+            prio <= self.max_priority,
+            "priority {prio} exceeds bucket range {}",
+            self.max_priority
+        );
+        prio as usize
+    }
+}
+
+impl MaxPq for BStackPq {
+    fn new() -> Self {
+        BStackPq {
+            buckets: Vec::new(),
+            prio: Vec::new(),
+            in_queue: Vec::new(),
+            live: 0,
+            top: 0,
+            max_priority: 0,
+        }
+    }
+
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        let nbuckets = (max_priority as usize).saturating_add(1);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < nbuckets {
+            self.buckets.resize_with(nbuckets, Vec::new);
+        }
+        self.prio.clear();
+        self.prio.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.live = 0;
+        self.top = 0;
+        self.max_priority = max_priority;
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        debug_assert!(!self.in_queue[v as usize], "push of vertex already queued");
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.in_queue[v as usize] = true;
+        self.buckets[b].push(v);
+        self.live += 1;
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        debug_assert!(self.in_queue[v as usize], "raise of vertex not in queue");
+        let old = self.prio[v as usize];
+        debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
+        if prio == old {
+            return;
+        }
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.buckets[b].push(v); // old entry becomes stale
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            match self.buckets[self.top].pop() {
+                Some(v) => {
+                    let vi = v as usize;
+                    if self.in_queue[vi] && self.prio[vi] as usize == self.top {
+                        self.in_queue[vi] = false;
+                        self.live -= 1;
+                        return Some((v, self.prio[vi]));
+                    }
+                    // Stale entry (raised since insertion, or already popped).
+                }
+                None => {
+                    debug_assert!(self.top > 0, "live count says non-empty");
+                    self.top -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.in_queue[v as usize]
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.prio[v as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let mut q = BStackPq::new();
+        q.reset(2, 10);
+        q.push(0, 1);
+        q.raise(0, 5);
+        q.raise(0, 9);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_max(), Some((0, 9)));
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn top_pointer_recovers_after_drain() {
+        let mut q = BStackPq::new();
+        q.reset(4, 10);
+        q.push(0, 10);
+        q.push(1, 2);
+        assert_eq!(q.pop_max(), Some((0, 10)));
+        // Top must wander down to 2.
+        assert_eq!(q.pop_max(), Some((1, 2)));
+        // And back up on a new high push.
+        q.push(2, 7);
+        assert_eq!(q.pop_max(), Some((2, 7)));
+    }
+
+    #[test]
+    fn zero_priority_supported() {
+        let mut q = BStackPq::new();
+        q.reset(1, 0);
+        q.push(0, 0);
+        assert_eq!(q.pop_max(), Some((0, 0)));
+        assert_eq!(q.pop_max(), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Operation-counting priority-queue adaptor.
+//!
+//! Section 3.1.2 of the paper motivates the λ̂ cap by the *number of
+//! priority-queue operations*: "In practice, many vertices reach priority
+//! values much higher than λ̂ and perform many priority increases until
+//! they reach their final value." This adaptor wraps any [`MaxPq`] and
+//! counts pushes, raises and pops so the claim can be measured directly
+//! (see the `ablation_pq_ops` binary of `mincut-bench`).
+//!
+//! Counters are accumulated in thread-local cells: algorithm entry points
+//! construct their queues internally, so the counts are harvested out of
+//! band via [`take_counters`] after the run. Each worker thread tallies
+//! its own operations; sum across threads for parallel totals.
+
+use std::cell::Cell;
+
+use super::MaxPq;
+
+thread_local! {
+    static PUSHES: Cell<u64> = const { Cell::new(0) };
+    static RAISES: Cell<u64> = const { Cell::new(0) };
+    static POPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot of the operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PqCounters {
+    pub pushes: u64,
+    pub raises: u64,
+    pub pops: u64,
+}
+
+impl PqCounters {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.pushes + self.raises + self.pops
+    }
+}
+
+/// Returns the current thread's counters and resets them to zero.
+pub fn take_counters() -> PqCounters {
+    PqCounters {
+        pushes: PUSHES.with(|c| c.replace(0)),
+        raises: RAISES.with(|c| c.replace(0)),
+        pops: POPS.with(|c| c.replace(0)),
+    }
+}
+
+/// A [`MaxPq`] that forwards to `P` while tallying operations.
+pub struct CountingPq<P> {
+    inner: P,
+}
+
+impl<P: MaxPq> MaxPq for CountingPq<P> {
+    fn new() -> Self {
+        CountingPq { inner: P::new() }
+    }
+
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        self.inner.reset(n, max_priority);
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        PUSHES.with(|c| c.set(c.get() + 1));
+        self.inner.push(v, prio);
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        // A no-op raise (equal priority) is still an operation the
+        // algorithm *attempted*; the paper's savings come from never
+        // attempting it, which the λ̂ cap achieves upstream.
+        RAISES.with(|c| c.set(c.get() + 1));
+        self.inner.raise(v, prio);
+    }
+
+    #[inline]
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        let r = self.inner.pop_max();
+        if r.is_some() {
+            POPS.with(|c| c.set(c.get() + 1));
+        }
+        r
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.inner.contains(v)
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.inner.priority(v)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pq::BinaryHeapPq;
+
+    #[test]
+    fn counts_operations() {
+        let _ = take_counters(); // clear any prior state on this thread
+        let mut q: CountingPq<BinaryHeapPq> = CountingPq::new();
+        q.reset(4, 100);
+        q.push(0, 5);
+        q.push(1, 7);
+        q.raise(0, 9);
+        assert_eq!(q.pop_max(), Some((0, 9)));
+        assert_eq!(q.pop_max(), Some((1, 7)));
+        assert_eq!(q.pop_max(), None);
+        let c = take_counters();
+        assert_eq!(
+            c,
+            PqCounters {
+                pushes: 2,
+                raises: 1,
+                pops: 2
+            }
+        );
+        assert_eq!(c.total(), 5);
+        // Counters were reset by the take.
+        assert_eq!(take_counters(), PqCounters::default());
+    }
+}

@@ -1,0 +1,239 @@
+//! Addressable bottom-up binary max-heap (the paper's **Heap**).
+
+use super::MaxPq;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Addressable binary max-heap using the bottom-up deletion heuristic of
+/// Wegener.
+///
+/// The heap is stored as an implicit binary tree in an array; a position
+/// table makes every vertex addressable so priorities can be raised in
+/// `O(log n)`. Deleting the maximum sifts the resulting hole all the way
+/// down along the path of larger children and then sifts the displaced last
+/// element up — on average this saves half of the comparisons of the
+/// classical sift-down because the displaced element usually belongs near
+/// the leaves.
+///
+/// Unlike the bucket queues this structure supports unbounded priorities and
+/// is therefore the queue used by the plain NOI variant (NOI-HNSS) where
+/// priorities are not capped at λ̂. Its `pop_max` tie-breaking favours
+/// neither old nor new entries (§3.1.3: "a middle ground between the two
+/// bucket priority queues").
+pub struct BinaryHeapPq {
+    /// Heap array of vertex ids; children of slot `i` are `2i+1`, `2i+2`.
+    heap: Vec<u32>,
+    /// Position of each vertex in `heap`, or `ABSENT`.
+    pos: Vec<u32>,
+    /// Priority of each vertex (valid while present).
+    prio: Vec<u64>,
+}
+
+impl BinaryHeapPq {
+    #[inline]
+    fn key(&self, slot: usize) -> u64 {
+        self.prio[self.heap[slot] as usize]
+    }
+
+    #[inline]
+    fn place(&mut self, slot: usize, v: u32) {
+        self.heap[slot] = v;
+        self.pos[v as usize] = slot as u32;
+    }
+
+    /// Moves the vertex at `slot` towards the root while it beats its parent.
+    fn sift_up(&mut self, mut slot: usize) {
+        let v = self.heap[slot];
+        let key = self.prio[v as usize];
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.key(parent) >= key {
+                break;
+            }
+            let pv = self.heap[parent];
+            self.place(slot, pv);
+            slot = parent;
+        }
+        self.place(slot, v);
+    }
+
+    /// Bottom-up deletion of the root: sift the hole to a leaf along the
+    /// larger children, drop the last element into the hole, sift it up.
+    fn remove_root(&mut self) -> u32 {
+        let root = self.heap[0];
+        self.pos[root as usize] = ABSENT;
+        let last = self.heap.pop().expect("heap non-empty");
+        if last == root {
+            return root; // heap had exactly one element
+        }
+        let n = self.heap.len();
+        let mut hole = 0usize;
+        loop {
+            let left = 2 * hole + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n && self.key(right) > self.key(left) {
+                right
+            } else {
+                left
+            };
+            let cv = self.heap[child];
+            self.place(hole, cv);
+            hole = child;
+        }
+        self.place(hole, last);
+        self.sift_up(hole);
+        root
+    }
+
+    #[cfg(test)]
+    fn assert_heap_property(&self) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                self.key(parent) >= self.key(i),
+                "heap property violated at slot {i}"
+            );
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v as usize] as usize, i, "position table stale");
+        }
+    }
+}
+
+impl MaxPq for BinaryHeapPq {
+    fn new() -> Self {
+        BinaryHeapPq {
+            heap: Vec::new(),
+            pos: Vec::new(),
+            prio: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, n: usize, _max_priority: u64) {
+        self.heap.clear();
+        self.pos.clear();
+        self.pos.resize(n, ABSENT);
+        self.prio.clear();
+        self.prio.resize(n, 0);
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        debug_assert_eq!(self.pos[v as usize], ABSENT, "push of vertex already queued");
+        self.prio[v as usize] = prio;
+        let slot = self.heap.len();
+        self.heap.push(v);
+        self.pos[v as usize] = slot as u32;
+        self.sift_up(slot);
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        let slot = self.pos[v as usize];
+        debug_assert_ne!(slot, ABSENT, "raise of vertex not in queue");
+        let old = self.prio[v as usize];
+        debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
+        if prio == old {
+            return;
+        }
+        self.prio[v as usize] = prio;
+        self.sift_up(slot as usize);
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let v = self.remove_root();
+        Some((v, self.prio[v as usize]))
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.prio[v as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_property_maintained_through_mixed_ops() {
+        let mut q = BinaryHeapPq::new();
+        q.reset(64, u64::MAX);
+        // Deterministic pseudo-random mix.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut present = [false; 64];
+        let mut maxkey = vec![0u64; 64];
+        for step in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) as usize % 64;
+            match step % 3 {
+                0 | 1 => {
+                    let p = maxkey[v].saturating_add(x % 1000);
+                    if present[v] {
+                        q.raise(v as u32, p);
+                    } else {
+                        q.push(v as u32, p);
+                        present[v] = true;
+                    }
+                    maxkey[v] = p;
+                }
+                _ => {
+                    if let Some((w, _)) = q.pop_max() {
+                        present[w as usize] = false;
+                    }
+                }
+            }
+            q.assert_heap_property();
+        }
+        // Drain and verify monotone non-increasing priorities.
+        let mut last = u64::MAX;
+        while let Some((_, p)) = q.pop_max() {
+            assert!(p <= last);
+            last = p;
+            q.assert_heap_property();
+        }
+    }
+
+    #[test]
+    fn pop_returns_global_max() {
+        let mut q = BinaryHeapPq::new();
+        q.reset(10, u64::MAX);
+        for (v, p) in [(0u32, 5u64), (1, 17), (2, 3), (3, 17), (4, 1)] {
+            q.push(v, p);
+        }
+        let (v1, p1) = q.pop_max().unwrap();
+        assert_eq!(p1, 17);
+        let (v2, p2) = q.pop_max().unwrap();
+        assert_eq!(p2, 17);
+        assert_ne!(v1, v2);
+        assert_eq!(q.pop_max().unwrap().1, 5);
+    }
+
+    #[test]
+    fn unbounded_priorities() {
+        let mut q = BinaryHeapPq::new();
+        q.reset(3, u64::MAX);
+        q.push(0, u64::MAX - 1);
+        q.push(1, u64::MAX);
+        q.push(2, 0);
+        assert_eq!(q.pop_max(), Some((1, u64::MAX)));
+        assert_eq!(q.pop_max(), Some((0, u64::MAX - 1)));
+        assert_eq!(q.pop_max(), Some((2, 0)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Sharded concurrent hash map for parallel graph contraction.
+//!
+//! Section 3.2 of the paper builds the contracted graph with a concurrent
+//! hash table (they use the folklore growing table of Maier, Sanders and
+//! Dementiev): every edge of the old graph is hashed by the pair of block
+//! ids of its endpoints and its weight is added to the accumulated weight of
+//! the corresponding contracted edge. We implement the same functionality
+//! with a fixed set of lock-striped shards — simpler, dependency-free and
+//! adequate because the key universe (contracted edges) is known to be no
+//! larger than the old edge set.
+
+use std::hash::{BuildHasher, Hash};
+
+use parking_lot::Mutex;
+
+use crate::hash::{FxBuildHasher, FxHashMap};
+
+/// A concurrent hash map split into `2^shard_bits` independently locked
+/// shards. Writers touching different shards never contend.
+pub struct ShardedMap<K, V> {
+    shards: Box<[Mutex<FxHashMap<K, V>>]>,
+    hasher: FxBuildHasher,
+    mask: u64,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Creates a map with `2^shard_bits` shards (clamped to `[1, 16]` bits).
+    pub fn new(shard_bits: u32) -> Self {
+        let bits = shard_bits.clamp(0, 16);
+        let n = 1usize << bits;
+        let shards = (0..n)
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedMap {
+            shards,
+            hasher: FxBuildHasher::default(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Creates a map sized for roughly `expected` entries: enough shards
+    /// that a default of 8 threads rarely collide.
+    pub fn with_expected_len(expected: usize) -> Self {
+        let bits = match expected {
+            0..=1024 => 3,
+            1025..=65536 => 6,
+            _ => 8,
+        };
+        Self::new(bits)
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) & self.mask) as usize
+    }
+
+    /// Number of entries across all shards (takes all locks; O(#shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Inserts `value` or combines it into an existing entry with `merge`.
+    pub fn merge_insert(&self, key: K, value: V, merge: impl FnOnce(&mut V, V)) {
+        let shard = self.shard_of(&key);
+        let mut guard = self.shards[shard].lock();
+        match guard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), value),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Returns a clone of the value stored for `key`.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let shard = self.shard_of(key);
+        self.shards[shard].lock().get(key).cloned()
+    }
+
+    /// Drains the map into a vector of entries (single-threaded epilogue).
+    pub fn drain_into_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            let mut guard = s.lock();
+            out.reserve(guard.len());
+            out.extend(guard.drain());
+        }
+        out
+    }
+
+    /// Visits every entry (shard by shard, holding one lock at a time).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            let guard = s.lock();
+            for (k, v) in guard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Number of shards (for tests and tuning).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl ShardedMap<u64, u64> {
+    /// Specialised accumulate for the contraction use case: adds `w` to the
+    /// weight stored under the packed edge key.
+    #[inline]
+    pub fn add_weight(&self, key: u64, w: u64) {
+        self.merge_insert(key, w, |acc, w| *acc += w);
+    }
+}
+
+/// Packs an unordered vertex pair into a single `u64` key (smaller id in the
+/// high half so keys sort like `(min, max)` pairs).
+#[inline]
+pub fn pack_edge(u: u32, v: u32) -> u64 {
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack_edge`].
+#[inline]
+pub fn unpack_edge(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_insert_accumulates() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(2);
+        m.add_weight(7, 3);
+        m.add_weight(7, 4);
+        m.add_weight(8, 1);
+        assert_eq!(m.get_cloned(&7), Some(7));
+        assert_eq!(m.get_cloned(&8), Some(1));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (u, v) in [(0u32, 0u32), (1, 2), (2, 1), (u32::MAX, 5)] {
+            let key = pack_edge(u, v);
+            let (lo, hi) = unpack_edge(key);
+            assert_eq!((lo, hi), (u.min(v), u.max(v)));
+        }
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_exact() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(4);
+        let keys = 97u64;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        m.add_weight(i % keys, 1);
+                    }
+                });
+            }
+        });
+        let mut total = 0;
+        m.for_each(|_, &v| total += v);
+        assert_eq!(total, 4 * 10_000);
+        // Every key gets either floor or ceil of its share.
+        m.for_each(|&k, &v| {
+            let expected = (0..10_000u64).filter(|i| i % keys == k).count() as u64 * 4;
+            assert_eq!(v, expected);
+        });
+    }
+
+    #[test]
+    fn drain_empties_map() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(1);
+        m.add_weight(1, 1);
+        m.add_weight(2, 2);
+        let mut v = m.drain_into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![(1, 1), (2, 2)]);
+        assert!(m.is_empty());
+    }
+}

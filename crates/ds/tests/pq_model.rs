@@ -1,0 +1,126 @@
+//! Property tests: every priority queue implementation must agree with a
+//! reference model on the *multiset* of (vertex, priority) pops and must pop
+//! priorities in non-increasing order... within the λ̂-cap semantics, pops
+//! are only guaranteed max-priority among live entries, which the model
+//! checks exactly.
+
+use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, MaxPq};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push or raise vertex `v` by `delta` (emulating CAPFOREST's r += c(e)).
+    Bump { v: u8, delta: u16 },
+    /// Pop the maximum.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u16..500).prop_map(|(v, delta)| Op::Bump { v, delta }),
+        1 => Just(Op::Pop),
+    ]
+}
+
+/// Reference model: linear scan over live entries.
+struct Model {
+    prio: Vec<u64>,
+    state: Vec<u8>, // 0 = never seen, 1 = queued, 2 = popped
+}
+
+impl Model {
+    fn new(n: usize) -> Self {
+        Model {
+            prio: vec![0; n],
+            state: vec![0; n],
+        }
+    }
+
+    fn max_priority(&self) -> Option<u64> {
+        self.state
+            .iter()
+            .zip(&self.prio)
+            .filter(|(s, _)| **s == 1)
+            .map(|(_, p)| *p)
+            .max()
+    }
+}
+
+fn run_against_model<P: MaxPq>(ops: &[Op], cap: u64) {
+    const N: usize = 256;
+    let mut q = P::new();
+    q.reset(N, cap);
+    let mut model = Model::new(N);
+
+    for op in ops {
+        match *op {
+            Op::Bump { v, delta } => {
+                let vi = v as usize;
+                match model.state[vi] {
+                    0 => {
+                        let p = (delta as u64).min(cap);
+                        model.prio[vi] = p;
+                        model.state[vi] = 1;
+                        q.push(v as u32, p);
+                    }
+                    1 => {
+                        let p = (model.prio[vi] + delta as u64).min(cap);
+                        model.prio[vi] = p;
+                        q.raise(v as u32, p);
+                    }
+                    _ => {} // popped vertices are never re-pushed (CAPFOREST contract)
+                }
+            }
+            Op::Pop => {
+                let got = q.pop_max();
+                match model.max_priority() {
+                    None => assert_eq!(got, None),
+                    Some(maxp) => {
+                        let (v, p) = got.expect("model says non-empty");
+                        assert_eq!(p, maxp, "popped priority must be the maximum");
+                        assert_eq!(model.prio[v as usize], p, "priority table consistent");
+                        assert_eq!(model.state[v as usize], 1, "popped vertex was live");
+                        model.state[v as usize] = 2;
+                    }
+                }
+            }
+        }
+        // Invariants that hold continuously.
+        let live = model.state.iter().filter(|&&s| s == 1).count();
+        assert_eq!(q.len(), live);
+    }
+
+    // Drain: all remaining elements in non-increasing priority order.
+    let mut last = u64::MAX;
+    while let Some((v, p)) = q.pop_max() {
+        assert!(p <= last);
+        last = p;
+        assert_eq!(model.state[v as usize], 1);
+        model.state[v as usize] = 2;
+    }
+    assert!(model.state.iter().all(|&s| s != 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bstack_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), cap in 1u64..5000) {
+        run_against_model::<BStackPq>(&ops, cap);
+    }
+
+    #[test]
+    fn bqueue_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), cap in 1u64..5000) {
+        run_against_model::<BQueuePq>(&ops, cap);
+    }
+
+    #[test]
+    fn heap_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), cap in 1u64..5000) {
+        run_against_model::<BinaryHeapPq>(&ops, cap);
+    }
+
+    #[test]
+    fn heap_matches_model_uncapped(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_against_model::<BinaryHeapPq>(&ops, u64::MAX);
+    }
+}

@@ -1,0 +1,84 @@
+//! Model test: the sharded concurrent map must behave exactly like a
+//! plain `HashMap` under any sequential operation interleaving, and
+//! accumulate exactly under concurrent writers (the §3.2 contraction
+//! use case: summing parallel-edge weights).
+
+use mincut_ds::{pack_edge, unpack_edge, ShardedMap};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { key: u64, w: u64 },
+    Get { key: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..64, 1u64..100).prop_map(|(key, w)| Op::Add { key, w }),
+            1 => (0u64..64).prop_map(|key| Op::Get { key }),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_hashmap_model(ops in ops(), shard_bits in 0u32..6) {
+        let map: ShardedMap<u64, u64> = ShardedMap::new(shard_bits);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Add { key, w } => {
+                    map.add_weight(key, w);
+                    *model.entry(key).or_insert(0) += w;
+                }
+                Op::Get { key } => {
+                    prop_assert_eq!(map.get_cloned(&key), model.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(map.len(), model.len());
+        let mut drained = map.drain_into_vec();
+        drained.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn pack_edge_is_injective_on_unordered_pairs(
+        a in 0u32..10_000, b in 0u32..10_000, c in 0u32..10_000, d in 0u32..10_000
+    ) {
+        prop_assume!(a != b && c != d);
+        let k1 = pack_edge(a, b);
+        let k2 = pack_edge(c, d);
+        let same_pair = (a.min(b), a.max(b)) == (c.min(d), c.max(d));
+        prop_assert_eq!(k1 == k2, same_pair);
+        let (lo, hi) = unpack_edge(k1);
+        prop_assert_eq!((lo, hi), (a.min(b), a.max(b)));
+    }
+}
+
+#[test]
+fn concurrent_writers_accumulate_exactly() {
+    let map: ShardedMap<u64, u64> = ShardedMap::with_expected_len(1 << 14);
+    let per_thread = 50_000u64;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let map = &map;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    // Overlapping key ranges across threads.
+                    map.add_weight((i + t * 17) % 1000, 1);
+                }
+            });
+        }
+    });
+    let mut total = 0;
+    map.for_each(|_, &v| total += v);
+    assert_eq!(total, 4 * per_thread);
+}

@@ -1,0 +1,26 @@
+//! # mincut-flow — maximum flow and flow-based global minimum cut
+//!
+//! The flow-based side of the paper's evaluation:
+//!
+//! * [`push_relabel`](crate::max_flow) — the Goldberg–Tarjan push-relabel
+//!   maximum-flow algorithm (highest-label selection, gap heuristic, exact
+//!   initial distance labels), operating on undirected
+//!   [`mincut_graph::CsrGraph`]s;
+//! * [`hao_orlin`] — the Hao–Orlin global minimum cut algorithm, which runs
+//!   n−1 flow phases while *retaining* distance labels and parking
+//!   irrelevant vertices in dormant sets. This is the Rust counterpart of
+//!   the paper's comparator **HO-CGKLS** (the `ho` variant of Chekuri,
+//!   Goldberg, Karger, Levine and Stein).
+//!
+//! Also exposes [`min_st_cut`], used by the test suites to validate the
+//! connectivity lower bounds `q(e) ≤ λ(G, u, v)` that CAPFOREST certifies.
+
+mod gomory_hu;
+mod hao_orlin;
+mod push_relabel;
+
+pub(crate) mod residual;
+
+pub use gomory_hu::GomoryHuTree;
+pub use hao_orlin::{hao_orlin, HaoOrlinResult};
+pub use push_relabel::{max_flow, min_st_cut, MaxFlowResult};

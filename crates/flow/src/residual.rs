@@ -1,0 +1,155 @@
+//! Residual network representation shared by push-relabel and Hao–Orlin.
+
+use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+
+/// Residual network of an undirected graph.
+///
+/// Every undirected edge `{u, v}` with weight `c` becomes the arc pair
+/// `2k: u→v` and `2k+1: v→u`, both with initial residual capacity `c`
+/// (pushing `f` along one direction adds `f` to the other — the standard
+/// undirected-flow encoding). `rev(a) = a ^ 1`.
+pub struct Residual {
+    /// Out-arc index: arcs of vertex `v` are `arc_ids[first[v]..first[v+1]]`.
+    pub first: Vec<usize>,
+    pub arc_ids: Vec<u32>,
+    /// Arc head, indexed by arc id.
+    pub to: Vec<NodeId>,
+    /// Residual capacity, indexed by arc id (mutated by the algorithms).
+    pub cap: Vec<EdgeWeight>,
+    /// Original capacity, retained for flow extraction by downstream
+    /// tooling and debugging sessions.
+    #[allow(dead_code)]
+    pub orig_cap: Vec<EdgeWeight>,
+}
+
+impl Residual {
+    pub fn new(g: &CsrGraph) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let mut to = vec![0 as NodeId; 2 * m];
+        let mut cap = vec![0 as EdgeWeight; 2 * m];
+        let mut deg = vec![0usize; n + 1];
+        for (k, (u, v, w)) in g.edges().enumerate() {
+            to[2 * k] = v;
+            to[2 * k + 1] = u;
+            cap[2 * k] = w;
+            cap[2 * k + 1] = w;
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        let mut first = deg;
+        for i in 0..n {
+            first[i + 1] += first[i];
+        }
+        let mut cursor = first.clone();
+        let mut arc_ids = vec![0u32; 2 * m];
+        for (k, (u, v, _)) in g.edges().enumerate() {
+            arc_ids[cursor[u as usize]] = (2 * k) as u32;
+            cursor[u as usize] += 1;
+            arc_ids[cursor[v as usize]] = (2 * k + 1) as u32;
+            cursor[v as usize] += 1;
+        }
+        let orig_cap = cap.clone();
+        Residual {
+            first,
+            arc_ids,
+            to,
+            cap,
+            orig_cap,
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.first.len() - 1
+    }
+
+    /// Arc ids leaving `v`.
+    #[inline]
+    pub fn out_arcs(&self, v: NodeId) -> &[u32] {
+        &self.arc_ids[self.first[v as usize]..self.first[v as usize + 1]]
+    }
+
+    /// The side of all vertices that can *reach* `t` through residual arcs
+    /// (reverse-residual BFS). `side[v] == true` means v is on t's side.
+    pub fn reaches_sink_side(&self, t: NodeId) -> Vec<bool> {
+        let n = self.n();
+        let mut side = vec![false; n];
+        side[t as usize] = true;
+        let mut stack = vec![t];
+        while let Some(u) = stack.pop() {
+            // v reaches u iff the residual arc v→u has capacity; from u's
+            // perspective that arc is the reverse of an out arc u→v.
+            for &a in self.out_arcs(u) {
+                let v = self.to[a as usize];
+                if !side[v as usize] && self.cap[(a ^ 1) as usize] > 0 {
+                    side[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        side
+    }
+
+    /// The side of all vertices reachable *from* `s` through residual arcs
+    /// (forward BFS). `side[v] == true` means v is on s's side. The tight
+    /// cut witness for preflows is [`Residual::reaches_sink_side`]; this
+    /// forward variant is kept for flow decomposition tooling.
+    #[allow(dead_code)]
+    pub fn source_side(&self, s: NodeId) -> Vec<bool> {
+        let n = self.n();
+        let mut side = vec![false; n];
+        side[s as usize] = true;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &a in self.out_arcs(u) {
+                let v = self.to[a as usize];
+                if !side[v as usize] && self.cap[a as usize] > 0 {
+                    side[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_pairing_and_adjacency() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 4), (1, 2, 5)]);
+        let r = Residual::new(&g);
+        assert_eq!(r.n(), 3);
+        assert_eq!(r.to.len(), 4);
+        // Vertex 1 has two out arcs, heads 0 and 2 in some order.
+        let mut heads: Vec<NodeId> = r.out_arcs(1).iter().map(|&a| r.to[a as usize]).collect();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![0, 2]);
+        // Reverse arcs point back.
+        for &a in r.out_arcs(1) {
+            let head = r.to[a as usize];
+            assert_eq!(r.to[(a ^ 1) as usize], {
+                // reverse of 1→head is head→1
+                1
+            });
+            let _ = head;
+        }
+    }
+
+    #[test]
+    fn sink_side_on_saturated_cut() {
+        let g = CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let mut r = Residual::new(&g);
+        // Saturate the 0→1 arc manually: cut {0} | {1,2}.
+        for &a in r.out_arcs(0).to_vec().iter() {
+            if r.to[a as usize] == 1 {
+                r.cap[a as usize] = 0;
+            }
+        }
+        let side = r.reaches_sink_side(2);
+        assert_eq!(side, vec![false, true, true]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Connected components.
+//!
+//! The paper's instances are always the largest connected component of a
+//! k-core (Appendix A.2), and every solver needs the connectivity check to
+//! report λ = 0 with a component as witness on disconnected inputs.
+
+use crate::{CsrGraph, NodeId};
+
+/// Component id per vertex plus the number of components. BFS-based, O(n+m).
+pub fn connected_components(g: &CsrGraph) -> (Vec<NodeId>, usize) {
+    const UNSEEN: NodeId = NodeId::MAX;
+    let n = g.n();
+    let mut comp = vec![UNSEEN; n];
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut next = 0 as NodeId;
+    for start in 0..n as NodeId {
+        if comp[start as usize] != UNSEEN {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            for v in g.neighbors(u) {
+                if comp[*v as usize] == UNSEEN {
+                    comp[*v as usize] = next;
+                    queue.push(*v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    let (_, k) = connected_components(g);
+    k == 1
+}
+
+/// Extracts the largest connected component.
+///
+/// Returns the component as a graph plus the mapping from its vertex ids to
+/// the original ids. Ties broken by smallest component id (deterministic).
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
+    if g.n() == 0 {
+        return (CsrGraph::empty(), Vec::new());
+    }
+    let (comp, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = (0..k).max_by_key(|&c| (sizes[c], usize::MAX - c)).unwrap() as NodeId;
+    let keep: Vec<bool> = comp.iter().map(|&c| c == best).collect();
+    g.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_and_isolated() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3); // {0,1}, {2,3,4}, {5}
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[5], comp[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_extracted() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (2, 3, 7), (3, 4, 1)]);
+        let (lcc, old) = largest_component(&g);
+        assert_eq!(lcc.n(), 3);
+        assert_eq!(old, vec![2, 3, 4]);
+        assert_eq!(lcc.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty();
+        assert!(is_connected(&g));
+        let (lcc, old) = largest_component(&g);
+        assert_eq!(lcc.n(), 0);
+        assert!(old.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Weighted graph contraction.
+//!
+//! Given a labelling of vertices into blocks (typically the dense labels of
+//! a union-find structure filled by CAPFOREST), contraction collapses every
+//! block into a single vertex, drops intra-block edges and merges parallel
+//! inter-block edges by summing their weights — exactly the operation
+//! `G/(u,v)` of the paper, applied to whole blocks at once.
+//!
+//! Two implementations:
+//! * [`contract`] — sequential, hash-map accumulation;
+//! * [`contract_parallel`] — §3.2 of the paper: chunks of vertices are
+//!   processed in parallel, each worker accumulates edge weights in a local
+//!   table first (the paper's optimisation for heavy block pairs: local
+//!   aggregation "to reduce synchronization overhead") and then merges into
+//!   a shared concurrent hash table.
+
+use mincut_ds::hash::FxHashMap;
+use mincut_ds::{pack_edge, unpack_edge, ShardedMap};
+use rayon::prelude::*;
+
+use crate::{CsrGraph, EdgeWeight, NodeId};
+
+/// Sequentially contracts `g` according to `labels` (vertex → block id in
+/// `[0, num_blocks)`). Returns the contracted graph on `num_blocks` vertices.
+pub fn contract(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
+    assert_eq!(labels.len(), g.n());
+    debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
+    let mut acc: FxHashMap<u64, EdgeWeight> = FxHashMap::default();
+    acc.reserve(g.m() / 2);
+    for u in 0..g.n() as NodeId {
+        let lu = labels[u as usize];
+        for (v, w) in g.arcs(u) {
+            if u < v {
+                let lv = labels[v as usize];
+                if lu != lv {
+                    *acc.entry(pack_edge(lu, lv)).or_insert(0) += w;
+                }
+            }
+        }
+    }
+    build_from_packed(num_blocks, acc.into_iter().collect())
+}
+
+/// Parallel contraction (§3.2). Semantically identical to [`contract`].
+pub fn contract_parallel(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
+    assert_eq!(labels.len(), g.n());
+    debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
+    let n = g.n();
+    if n < 1 << 12 {
+        // Parallel set-up costs dominate on small graphs.
+        return contract(g, labels, num_blocks);
+    }
+    let shared: ShardedMap<u64, EdgeWeight> = ShardedMap::with_expected_len(g.m());
+    const CHUNK: usize = 1 << 13;
+    let num_chunks = n.div_ceil(CHUNK);
+    (0..num_chunks).into_par_iter().for_each(|c| {
+        let lo = c * CHUNK;
+        let hi = ((c + 1) * CHUNK).min(n);
+        // Local accumulation first: parallel edges between two heavy blocks
+        // are combined thread-locally, touching the shared table once per
+        // distinct block pair per chunk.
+        let mut local: FxHashMap<u64, EdgeWeight> = FxHashMap::default();
+        for u in lo as NodeId..hi as NodeId {
+            let lu = labels[u as usize];
+            for (v, w) in g.arcs(u) {
+                if u < v {
+                    let lv = labels[v as usize];
+                    if lu != lv {
+                        *local.entry(pack_edge(lu, lv)).or_insert(0) += w;
+                    }
+                }
+            }
+        }
+        for (k, w) in local {
+            shared.add_weight(k, w);
+        }
+    });
+    build_from_packed(num_blocks, shared.drain_into_vec())
+}
+
+fn build_from_packed(num_blocks: usize, mut packed: Vec<(u64, EdgeWeight)>) -> CsrGraph {
+    packed.par_sort_unstable_by_key(|&(k, _)| k);
+    let edges: Vec<(NodeId, NodeId, EdgeWeight)> = packed
+        .into_iter()
+        .map(|(k, w)| {
+            let (u, v) = unpack_edge(k);
+            (u, v, w)
+        })
+        .collect();
+    CsrGraph::from_sorted_dedup_edges(num_blocks, &edges)
+}
+
+/// Contracts a single edge `{a, b}`: blocks are `{a, b}` and every other
+/// vertex alone. Returns the contracted graph and the labelling used.
+/// Convenience for algorithms that contract one edge at a time
+/// (Stoer–Wagner phases, Karger–Stein leaves).
+pub fn contract_edge(g: &CsrGraph, a: NodeId, b: NodeId) -> (CsrGraph, Vec<NodeId>) {
+    assert_ne!(a, b);
+    let (a, b) = if a < b { (a, b) } else { (b, a) };
+    let n = g.n();
+    let mut labels = Vec::with_capacity(n);
+    for v in 0..n as NodeId {
+        labels.push(if v == b {
+            a
+        } else if v > b {
+            v - 1
+        } else {
+            v
+        });
+    }
+    let c = contract(g, &labels, n - 1);
+    (c, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> CsrGraph {
+        // 0-1, 1-2, 2-3, 3-0 (weight 1 each), diagonal 0-2 (weight 5)
+        CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)])
+    }
+
+    #[test]
+    fn contract_merges_parallel_edges() {
+        let g = square_with_diagonal();
+        // Blocks {0,2} -> 0 and {1,3} -> 1.
+        let labels = vec![0, 1, 0, 1];
+        let c = contract(&g, &labels, 2);
+        assert_eq!(c.n(), 2);
+        assert_eq!(c.m(), 1);
+        // All four ring edges become parallel edges between the two blocks.
+        assert_eq!(c.edge_weight(0, 1), Some(4));
+        // Diagonal 0-2 is intra-block and disappears.
+        assert_eq!(c.total_edge_weight(), 4);
+    }
+
+    #[test]
+    fn contract_identity_labels_is_isomorphic() {
+        let g = square_with_diagonal();
+        let labels: Vec<NodeId> = (0..4).collect();
+        let c = contract(&g, &labels, 4);
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Big enough to pass the parallel threshold.
+        let n = 1 << 13;
+        let mut edges = Vec::new();
+        for v in 0..n as NodeId {
+            let u = (v + 1) % n as NodeId;
+            edges.push((v, u, (v as u64 % 7) + 1)); // weighted ring
+            edges.push((v, (v + 17) % n as NodeId, 2)); // chords
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        // Blocks of 16 consecutive vertices.
+        let labels: Vec<NodeId> = (0..n as NodeId).map(|v| v / 16).collect();
+        let blocks = n / 16;
+        let s = contract(&g, &labels, blocks);
+        let p = contract_parallel(&g, &labels, blocks);
+        assert_eq!(s, p);
+        assert_eq!(s.n(), blocks);
+    }
+
+    #[test]
+    fn contraction_preserves_cross_block_cut_values() {
+        let g = square_with_diagonal();
+        let labels = vec![0, 1, 0, 1];
+        let c = contract(&g, &labels, 2);
+        // Cut separating the blocks has the same value in both graphs.
+        let side_g = [true, false, true, false];
+        let side_c = [true, false];
+        assert_eq!(g.cut_value(&side_g), c.cut_value(&side_c));
+    }
+
+    #[test]
+    fn contract_edge_basic() {
+        let g = square_with_diagonal();
+        let (c, labels) = contract_edge(&g, 0, 2);
+        assert_eq!(c.n(), 3);
+        // Merged vertex is 0; old 3 becomes 2.
+        assert_eq!(labels, vec![0, 1, 0, 2]);
+        assert_eq!(c.edge_weight(0, 1), Some(2)); // (0,1) + (2,1)
+        assert_eq!(c.edge_weight(0, 2), Some(2)); // (0,3) + (2,3)
+        assert_eq!(c.edge_weight(1, 2), None);
+    }
+
+    #[test]
+    fn contract_to_single_vertex() {
+        let g = square_with_diagonal();
+        let c = contract(&g, &[0, 0, 0, 0], 1);
+        assert_eq!(c.n(), 1);
+        assert_eq!(c.m(), 0);
+    }
+}

@@ -1,0 +1,470 @@
+//! Compressed-sparse-row graph representation and its builder.
+
+use crate::{EdgeWeight, NodeId};
+
+/// An immutable simple undirected graph with positive integer edge weights,
+/// stored in compressed-sparse-row form (every undirected edge appears as
+/// two arcs).
+///
+/// Invariants guaranteed by [`GraphBuilder`]:
+/// * no self-loops;
+/// * no parallel edges (duplicates are merged by summing weights);
+/// * adjacency lists sorted by neighbour id;
+/// * all weights ≥ 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `xadj[v]..xadj[v+1]` indexes `adj`/`weight` for vertex `v`. Length n+1.
+    xadj: Vec<usize>,
+    /// Arc targets. Length 2m.
+    adj: Vec<NodeId>,
+    /// Arc weights, parallel to `adj`.
+    weight: Vec<EdgeWeight>,
+    /// Weighted degree of every vertex (the paper's c(v)).
+    wdeg: Vec<EdgeWeight>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from an edge list. Convenience wrapper around
+    /// [`GraphBuilder`].
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, EdgeWeight)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in edges {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    /// Builds an unweighted graph (all weights 1) from an edge list.
+    pub fn from_unweighted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v, 1);
+        }
+        b.build()
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        CsrGraph {
+            xadj: vec![0],
+            adj: Vec::new(),
+            weight: Vec::new(),
+            wdeg: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Number of stored arcs (2m).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Unweighted degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Weighted degree c(v): sum of weights of incident edges.
+    #[inline]
+    pub fn weighted_degree(&self, v: NodeId) -> EdgeWeight {
+        self.wdeg[v as usize]
+    }
+
+    /// Neighbour ids of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Weights of the arcs out of `v`, parallel to [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[EdgeWeight] {
+        &self.weight[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Iterator over `(neighbour, weight)` arcs of `v`.
+    #[inline]
+    pub fn arcs(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_weights(v).iter().copied())
+    }
+
+    /// Iterator over undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeWeight)> + '_ {
+        (0..self.n() as NodeId)
+            .flat_map(move |u| self.arcs(u).map(move |(v, w)| (u, v, w)))
+            .filter(|&(u, v, _)| u < v)
+    }
+
+    /// Weight of the edge `{u, v}` if present (binary search on the smaller
+    /// adjacency list).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<EdgeWeight> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let nbrs = self.neighbors(a);
+        nbrs.binary_search(&b)
+            .ok()
+            .map(|i| self.neighbor_weights(a)[i])
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> EdgeWeight {
+        self.weight.iter().sum::<EdgeWeight>() / 2
+    }
+
+    /// Minimum weighted degree and one vertex attaining it. The trivial cut
+    /// `({v}, V∖{v})` of that vertex is the paper's initial upper bound λ̂.
+    pub fn min_weighted_degree(&self) -> Option<(NodeId, EdgeWeight)> {
+        (0..self.n() as NodeId)
+            .map(|v| (v, self.weighted_degree(v)))
+            .min_by_key(|&(_, d)| d)
+    }
+
+    /// Minimum unweighted degree δ(G).
+    pub fn min_degree(&self) -> Option<usize> {
+        (0..self.n() as NodeId).map(|v| self.degree(v)).min()
+    }
+
+    /// Average unweighted degree 2m/n.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.n() as f64
+        }
+    }
+
+    /// Value of the cut defined by `side` (vertices with `side[v] == true`
+    /// on one side): sum of weights of edges with endpoints on different
+    /// sides. Used to verify every solver's output.
+    pub fn cut_value(&self, side: &[bool]) -> EdgeWeight {
+        assert_eq!(side.len(), self.n(), "side vector must cover all vertices");
+        let mut cut = 0;
+        for u in 0..self.n() as NodeId {
+            if !side[u as usize] {
+                continue;
+            }
+            for (v, w) in self.arcs(u) {
+                if !side[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Whether `side` is a proper cut: both sides non-empty.
+    pub fn is_proper_cut(&self, side: &[bool]) -> bool {
+        side.len() == self.n() && side.iter().any(|&s| s) && side.iter().any(|&s| !s)
+    }
+
+    /// Induced subgraph on `keep` (vertices with `keep[v] == true`).
+    ///
+    /// Returns the subgraph and the list mapping new ids to old ids.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.n());
+        const ABSENT: NodeId = NodeId::MAX;
+        let mut new_id = vec![ABSENT; self.n()];
+        let mut old_ids = Vec::new();
+        for v in 0..self.n() {
+            if keep[v] {
+                new_id[v] = old_ids.len() as NodeId;
+                old_ids.push(v as NodeId);
+            }
+        }
+        let mut b = GraphBuilder::new(old_ids.len());
+        for &old_u in &old_ids {
+            let nu = new_id[old_u as usize];
+            for (old_v, w) in self.arcs(old_u) {
+                if old_u < old_v && keep[old_v as usize] {
+                    b.add_edge(nu, new_id[old_v as usize], w);
+                }
+            }
+        }
+        (b.build(), old_ids)
+    }
+
+    /// Relabels vertices by `perm` (new id of old vertex `v` is `perm[v]`).
+    /// `perm` must be a permutation of `0..n`.
+    pub fn permuted(&self, perm: &[NodeId]) -> CsrGraph {
+        assert_eq!(perm.len(), self.n());
+        let mut b = GraphBuilder::new(self.n());
+        for (u, v, w) in self.edges() {
+            b.add_edge(perm[u as usize], perm[v as usize], w);
+        }
+        b.build()
+    }
+
+    /// Internal constructor from normalised parts; used by the builder and
+    /// by `contract`, which guarantee the invariants.
+    pub(crate) fn from_sorted_dedup_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId, EdgeWeight)],
+    ) -> CsrGraph {
+        // Count arc degrees.
+        let mut xadj = vec![0usize; n + 1];
+        for &(u, v, _) in edges {
+            debug_assert!(u < v, "edges must be normalised u < v");
+            xadj[u as usize + 1] += 1;
+            xadj[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            xadj[i + 1] += xadj[i];
+        }
+        let num_arcs = xadj[n];
+        let mut adj = vec![0 as NodeId; num_arcs];
+        let mut weight = vec![0 as EdgeWeight; num_arcs];
+        let mut cursor = xadj.clone();
+        // Edges are sorted by (u, v); filling u-side in order keeps each
+        // adjacency list sorted. The v-side lists are also sorted because we
+        // scan edges in lexicographic order and v-lists receive u's
+        // ascending... they receive `u` values in the order edges are
+        // visited, which is ascending in u. Both sides stay sorted.
+        for &(u, v, w) in edges {
+            let cu = cursor[u as usize];
+            adj[cu] = v;
+            weight[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            adj[cv] = u;
+            weight[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        // u-side insertions (targets v, ascending per u) interleave with
+        // v-side insertions (targets u, ascending across the scan), so each
+        // list is a merge of two ascending runs — but the runs interleave in
+        // scan order, which is not globally sorted per list. Sort each list.
+        let mut g = CsrGraph {
+            xadj,
+            adj,
+            weight,
+            wdeg: Vec::new(),
+        };
+        g.sort_adjacency_lists();
+        g.rebuild_weighted_degrees();
+        g
+    }
+
+    fn sort_adjacency_lists(&mut self) {
+        let n = self.n();
+        for v in 0..n {
+            let lo = self.xadj[v];
+            let hi = self.xadj[v + 1];
+            // Sort (adj, weight) pairs of this list by neighbour id.
+            let mut pairs: Vec<(NodeId, EdgeWeight)> = self.adj[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.weight[lo..hi].iter().copied())
+                .collect();
+            if pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+                continue;
+            }
+            pairs.sort_unstable_by_key(|p| p.0);
+            for (i, (a, w)) in pairs.into_iter().enumerate() {
+                self.adj[lo + i] = a;
+                self.weight[lo + i] = w;
+            }
+        }
+    }
+
+    fn rebuild_weighted_degrees(&mut self) {
+        let n = self.n();
+        self.wdeg = (0..n)
+            .map(|v| self.weight[self.xadj[v]..self.xadj[v + 1]].iter().sum())
+            .collect();
+    }
+}
+
+/// Accumulates an edge list and normalises it into a [`CsrGraph`]:
+/// self-loops are dropped, duplicate/parallel edges are merged by summing
+/// their weights, zero-weight edges are dropped.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, EdgeWeight)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`. Self-loops and
+    /// zero weights are silently dropped; duplicates merge at `build`.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: EdgeWeight) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        if u == v || w == 0 {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, w));
+    }
+
+    /// Number of edge records currently buffered (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Normalises and freezes into a [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+        // Merge duplicates in place.
+        let mut out = 0usize;
+        for i in 0..self.edges.len() {
+            if out > 0 && self.edges[out - 1].0 == self.edges[i].0 && self.edges[out - 1].1 == self.edges[i].1
+            {
+                self.edges[out - 1].2 += self.edges[i].2;
+            } else {
+                self.edges[out] = self.edges[i];
+                out += 1;
+            }
+        }
+        self.edges.truncate(out);
+        CsrGraph::from_sorted_dedup_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3), (0, 2, 5)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.weighted_degree(0), 7);
+        assert_eq!(g.weighted_degree(1), 5);
+        assert_eq!(g.weighted_degree(2), 8);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor_weights(0), &[2, 5]);
+        assert_eq!(g.total_edge_weight(), 10);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_normalised() {
+        let g = CsrGraph::from_edges(
+            3,
+            &[(0, 1, 1), (1, 0, 2), (0, 0, 7), (1, 2, 1), (2, 1, 0)],
+        );
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(3)); // merged 1 + 2
+        assert_eq!(g.edge_weight(1, 2), Some(1)); // zero-weight dup dropped
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = CsrGraph::from_edges(
+            5,
+            &[(4, 2, 1), (4, 0, 1), (4, 3, 1), (4, 1, 1), (1, 0, 1)],
+        );
+        assert_eq!(g.neighbors(4), &[0, 1, 2, 3]);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1, 2), (0, 2, 5), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn cut_value_matches_manual() {
+        let g = triangle();
+        // {0} vs {1,2}: edges (0,1)=2 and (0,2)=5 cut.
+        assert_eq!(g.cut_value(&[true, false, false]), 7);
+        // {0,1} vs {2}: edges (0,2)=5 and (1,2)=3 cut.
+        assert_eq!(g.cut_value(&[true, true, false]), 8);
+        assert!(g.is_proper_cut(&[true, false, false]));
+        assert!(!g.is_proper_cut(&[true, true, true]));
+    }
+
+    #[test]
+    fn min_weighted_degree_found() {
+        let g = triangle();
+        assert_eq!(g.min_weighted_degree(), Some((1, 5)));
+        assert_eq!(g.min_degree(), Some(2));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]);
+        let (sub, old) = g.induced_subgraph(&[true, false, true, true]);
+        assert_eq!(old, vec![0, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2); // edges (2,3) and (3,0) survive
+        assert_eq!(sub.edge_weight(1, 2), Some(3)); // old (2,3)
+        assert_eq!(sub.edge_weight(2, 0), Some(4)); // old (3,0)
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = triangle();
+        let p = g.permuted(&[2, 0, 1]);
+        assert_eq!(p.m(), 3);
+        assert_eq!(p.edge_weight(2, 0), Some(2)); // old (0,1)
+        assert_eq!(p.edge_weight(0, 1), Some(3)); // old (1,2)
+        assert_eq!(p.edge_weight(2, 1), Some(5)); // old (0,2)
+        assert_eq!(p.total_edge_weight(), g.total_edge_weight());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.weighted_degree(2), 0);
+        assert_eq!(g.min_weighted_degree(), Some((2, 0)));
+    }
+}

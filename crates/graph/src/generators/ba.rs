@@ -1,0 +1,92 @@
+//! Barabási–Albert preferential attachment graphs.
+//!
+//! Proxy for the paper's social-network instances (hollywood-2011,
+//! com-orkut, twitter-2010): heavy-tailed degree distribution with strong
+//! hubs and low diameter — exactly the regime where the paper observes the
+//! λ̂-bounded priority queue saving the most work (§4.2: "the real-world
+//! graphs are social network and web graphs, they contain vertices with
+//! very high degrees").
+
+use rand::Rng;
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Barabási–Albert graph: starts from a clique on `attach + 1` vertices;
+/// every subsequent vertex attaches to `attach` distinct existing vertices
+/// chosen proportionally to their current degree.
+///
+/// The resulting graph is connected with minimum degree `attach`.
+pub fn barabasi_albert<R: Rng>(n: usize, attach: usize, rng: &mut R) -> CsrGraph {
+    assert!(attach >= 1, "attach must be at least 1");
+    assert!(
+        n > attach,
+        "need more vertices ({n}) than attachments ({attach})"
+    );
+    let mut b = GraphBuilder::with_capacity(n, attach * n);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * attach * n);
+    // Seed clique.
+    for u in 0..=attach as NodeId {
+        for v in u + 1..=attach as NodeId {
+            b.add_edge(u, v, 1);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(attach);
+    for v in attach as NodeId + 1..n as NodeId {
+        chosen.clear();
+        while chosen.len() < attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t, 1);
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_structure() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = barabasi_albert(500, 3, &mut rng);
+        assert_eq!(g.n(), 500);
+        // Clique(4) = 6 edges, then 496 vertices × 3 edges.
+        assert_eq!(g.m(), 6 + 496 * 3);
+        assert!(is_connected(&g));
+        assert!(g.min_degree().unwrap() >= 3);
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = barabasi_albert(2000, 2, &mut rng);
+        let max_deg = (0..g.n() as NodeId).map(|v| g.degree(v)).max().unwrap();
+        // Preferential attachment must produce hubs far above the average.
+        assert!(
+            max_deg as f64 > 5.0 * g.avg_degree(),
+            "max degree {max_deg} vs avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn ba_deterministic_under_seed() {
+        let a = barabasi_albert(300, 2, &mut SmallRng::seed_from_u64(42));
+        let b = barabasi_albert(300, 2, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Erdős–Rényi G(n, m) graphs.
+
+use mincut_ds::hash::FxHashSet;
+use mincut_ds::pack_edge;
+use rand::Rng;
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Uniform random simple graph with `n` vertices and `m` distinct edges
+/// (unweighted, weight 1). Panics if `m` exceeds `n(n-1)/2`.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max, "G(n={n}, m={m}) requested but only {max} pairs exist");
+    assert!(
+        m <= max / 2 || n < 4000,
+        "rejection sampling needs m well below the maximum for large n"
+    );
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        if seen.insert(pack_edge(u, v)) {
+            b.add_edge(u, v, 1);
+        }
+    }
+    b.build()
+}
+
+/// Random connected graph: a uniform random attachment tree (guaranteeing
+/// connectivity) plus `m - (n-1)` additional uniform random edges. `m` must
+/// be at least `n - 1`.
+pub fn connected_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(n >= 1);
+    assert!(m + 1 >= n, "need at least n-1 edges for connectivity");
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    // Random recursive tree: attach each vertex to a random earlier one.
+    for v in 1..n as NodeId {
+        let u = rng.gen_range(0..v);
+        seen.insert(pack_edge(u, v));
+        b.add_edge(u, v, 1);
+    }
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        if seen.insert(pack_edge(u, v)) {
+            b.add_edge(u, v, 1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gnm(50, 200, &mut rng);
+        assert_eq!(g.n(), 50);
+        assert_eq!(g.m(), 200);
+        // Simple graph: no weight exceeds 1 (no merged duplicates).
+        assert!(g.edges().all(|(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn gnm_deterministic_under_seed() {
+        let a = gnm(40, 100, &mut SmallRng::seed_from_u64(9));
+        let b = gnm(40, 100, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn connected_gnm_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &(n, m) in &[(10usize, 9usize), (100, 150), (257, 800)] {
+            let g = connected_gnm(n, m, &mut rng);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.m(), m);
+            assert!(is_connected(&g), "n={n}, m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_rejects_impossible_m() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = gnm(4, 100, &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! Stochastic block model (planted partition) and Watts–Strogatz small
+//! worlds — additional instance families exercising the clustered and
+//! locally-structured regimes where VieCut's label propagation shines or
+//! struggles (§2.4: "clusters with a strong intra-cluster connectivity").
+
+use mincut_ds::hash::FxHashSet;
+use mincut_ds::pack_edge;
+use rand::Rng;
+
+use crate::{CsrGraph, GraphBuilder, NodeId};
+
+/// Planted-partition stochastic block model: `blocks` communities of
+/// `block_size` vertices each; every intra-community pair is an edge with
+/// probability `p_in`, every inter-community pair with `p_out`.
+///
+/// `p_in ≫ p_out` plants communities (VieCut's best case); the expected
+/// minimum cut is the lightest community boundary,
+/// ≈ `block_size · (blocks − 1) · block_size · p_out` for the typical
+/// community.
+pub fn planted_partition<R: Rng>(
+    blocks: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> CsrGraph {
+    assert!(blocks >= 1 && block_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = blocks * block_size;
+    let block_of = |v: usize| v / block_size;
+    let mut b = GraphBuilder::new(n);
+    // Geometric skipping for sparse probabilities would be faster; the
+    // harness only uses moderate n, so the O(n²) loop keeps it simple.
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId, 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where every vertex connects
+/// to its `k` nearest neighbours on each side, with each edge rewired to
+/// a uniform random endpoint with probability `beta`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k for the ring lattice");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for u in 0..n as NodeId {
+        for j in 1..=k as NodeId {
+            let v = (u + j) % n as NodeId;
+            let target = if rng.gen_bool(beta) {
+                // Rewire; retry a few times to avoid loops and duplicates.
+                let mut t = rng.gen_range(0..n as NodeId);
+                for _ in 0..8 {
+                    if t != u && !seen.contains(&pack_edge(u, t)) {
+                        break;
+                    }
+                    t = rng.gen_range(0..n as NodeId);
+                }
+                if t == u || seen.contains(&pack_edge(u, t)) {
+                    v // give up on rewiring this edge
+                } else {
+                    t
+                }
+            } else {
+                v
+            };
+            if target != u && seen.insert(pack_edge(u, target)) {
+                b.add_edge(u, target, 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_partition_is_clustered() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = planted_partition(4, 30, 0.5, 0.01, &mut rng);
+        assert_eq!(g.n(), 120);
+        // Count intra vs inter edges; intra must dominate heavily.
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if u / 30 == v / 30 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 8 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn planted_partition_mincut_separates_a_community() {
+        use crate::generators::known::brute_force_mincut;
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Tiny instance so brute force is feasible; dense communities,
+        // single inter edges.
+        let g = planted_partition(2, 8, 0.9, 0.02, &mut rng);
+        if is_connected(&g) {
+            let lambda = brute_force_mincut(&g);
+            let inter = g
+                .edges()
+                .filter(|&(u, v, _)| u / 8 != v / 8)
+                .count() as u64;
+            assert!(lambda <= inter, "community boundary bounds the cut");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = watts_strogatz(20, 2, 0.0, &mut rng);
+        assert_eq!(g.m(), 40);
+        assert!(is_connected(&g));
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_simple_graph() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = watts_strogatz(200, 3, 0.3, &mut rng);
+        assert!(g.edges().all(|(u, v, w)| u != v && w == 1));
+        // Rewiring can only keep or reduce the edge count (dropped dups).
+        assert!(g.m() <= 600);
+        assert!(g.m() > 500);
+    }
+
+    #[test]
+    fn watts_strogatz_deterministic() {
+        let a = watts_strogatz(64, 2, 0.2, &mut SmallRng::seed_from_u64(5));
+        let b = watts_strogatz(64, 2, 0.2, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

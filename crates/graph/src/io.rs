@@ -1,0 +1,305 @@
+//! Graph readers and writers: METIS and plain edge lists.
+//!
+//! The paper's instances come from the 10th DIMACS Implementation Challenge
+//! and the Laboratory for Web Algorithmics, which distribute METIS-format
+//! files; the harness reads/writes the same format so externally obtained
+//! instances drop in directly.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::num::ParseIntError;
+
+use crate::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};
+
+/// Errors produced by the graph parsers.
+#[derive(Debug)]
+pub enum GraphIoError {
+    Io(std::io::Error),
+    /// Malformed content, with a 1-based line number and message.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn int_err(line: usize, e: ParseIntError) -> GraphIoError {
+    parse_err(line, format!("invalid integer: {e}"))
+}
+
+/// Reads a METIS graph file.
+///
+/// Header `n m [fmt]`; `fmt` ∈ {absent, 0, 1, 00, 01, …, 011}: only the
+/// edge-weight flag (last digit) and vertex-weight flag (middle digit) are
+/// supported, vertex weights are skipped. Vertex ids are 1-based; `%` lines
+/// are comments.
+pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let (header_no, header) = loop {
+        match lines.next() {
+            None => return Err(parse_err(0, "missing header")),
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (no + 1, t.to_string());
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing vertex count"))?
+        .parse()
+        .map_err(|e| int_err(header_no, e))?;
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_no, "missing edge count"))?
+        .parse()
+        .map_err(|e| int_err(header_no, e))?;
+    let fmt = parts.next().unwrap_or("0");
+    let has_edge_weights = fmt.ends_with('1');
+    let has_vertex_weights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
+    if fmt.len() >= 3 && fmt.as_bytes()[fmt.len() - 3] == b'1' {
+        return Err(parse_err(header_no, "vertex sizes not supported"));
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut vertex = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(parse_err(no + 1, "more vertex lines than vertices"));
+        }
+        let mut tok = t.split_whitespace();
+        if has_vertex_weights {
+            let _ = tok
+                .next()
+                .ok_or_else(|| parse_err(no + 1, "missing vertex weight"))?;
+        }
+        while let Some(nb) = tok.next() {
+            let nb: usize = nb.parse().map_err(|e| int_err(no + 1, e))?;
+            if nb == 0 || nb > n {
+                return Err(parse_err(no + 1, format!("neighbour {nb} out of range 1..={n}")));
+            }
+            let w: EdgeWeight = if has_edge_weights {
+                tok.next()
+                    .ok_or_else(|| parse_err(no + 1, "missing edge weight"))?
+                    .parse()
+                    .map_err(|e| int_err(no + 1, e))?
+            } else {
+                1
+            };
+            // Every undirected edge appears twice; keep the canonical copy.
+            if vertex < nb - 1 {
+                b.add_edge(vertex as NodeId, (nb - 1) as NodeId, w);
+            }
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(parse_err(0, format!("expected {n} vertex lines, got {vertex}")));
+    }
+    let g = b.build();
+    if g.m() != m {
+        return Err(parse_err(
+            0,
+            format!("header says {m} edges but adjacency lists contain {}", g.m()),
+        ));
+    }
+    Ok(g)
+}
+
+/// Writes METIS format (fmt `001` iff any weight differs from 1).
+pub fn write_metis<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    let weighted = (0..g.n() as NodeId).any(|v| g.neighbor_weights(v).iter().any(|&w| w != 1));
+    if weighted {
+        writeln!(writer, "{} {} 001", g.n(), g.m())?;
+    } else {
+        writeln!(writer, "{} {}", g.n(), g.m())?;
+    }
+    let mut line = String::new();
+    for v in 0..g.n() as NodeId {
+        line.clear();
+        for (u, w) in g.arcs(v) {
+            if !line.is_empty() {
+                line.push(' ');
+            }
+            if weighted {
+                let _ = write!(line, "{} {}", u + 1, w);
+            } else {
+                let _ = write!(line, "{}", u + 1);
+            }
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a whitespace-separated edge list: `u v [w]` per line, 0-based ids,
+/// `#` and `%` comments. The vertex count is `max id + 1` unless a larger
+/// `n` is given.
+pub fn read_edge_list<R: BufRead>(reader: R, n_hint: Option<usize>) -> Result<CsrGraph, GraphIoError> {
+    let mut edges: Vec<(NodeId, NodeId, EdgeWeight)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut tok = t.split_whitespace();
+        let u: u64 = tok
+            .next()
+            .ok_or_else(|| parse_err(no + 1, "missing source"))?
+            .parse()
+            .map_err(|e| int_err(no + 1, e))?;
+        let v: u64 = tok
+            .next()
+            .ok_or_else(|| parse_err(no + 1, "missing target"))?
+            .parse()
+            .map_err(|e| int_err(no + 1, e))?;
+        let w: EdgeWeight = match tok.next() {
+            Some(t) => t.parse().map_err(|e| int_err(no + 1, e))?,
+            None => 1,
+        };
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(parse_err(no + 1, "vertex id exceeds u32"));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as NodeId, v as NodeId, w));
+    }
+    let n = match n_hint {
+        Some(n) => {
+            if !edges.is_empty() && n <= max_id as usize {
+                return Err(parse_err(0, format!("n_hint {n} smaller than max id {max_id}")));
+            }
+            n
+        }
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                max_id as usize + 1
+            }
+        }
+    };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes an edge list `u v w` (0-based).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()> {
+    for (u, v, w) in g.edges() {
+        writeln!(writer, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_metis(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_metis(g, &mut buf).unwrap();
+        read_metis(Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn metis_roundtrip_weighted() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 9), (0, 3, 2)]);
+        assert_eq!(roundtrip_metis(&g), g);
+    }
+
+    #[test]
+    fn metis_roundtrip_unweighted() {
+        let g = CsrGraph::from_unweighted_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(roundtrip_metis(&g), g);
+    }
+
+    #[test]
+    fn metis_reads_reference_text() {
+        // 3-vertex triangle, unweighted, with comments.
+        let text = "% a comment\n3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis(Cursor::new(text)).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn metis_reads_weighted_text() {
+        let text = "2 1 001\n2 7\n1 7\n";
+        let g = read_metis(Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn metis_rejects_bad_neighbor() {
+        let text = "2 1\n3\n1\n";
+        assert!(read_metis(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_wrong_edge_count() {
+        let text = "3 5\n2\n1\n\n";
+        assert!(read_metis(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 3), (2, 3, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(Cursor::new(buf), Some(4)).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_comments_and_defaults() {
+        let text = "# header\n0 1\n1 2 5\n% more\n";
+        let g = read_edge_list(Cursor::new(text), None).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(1, 2), Some(5));
+    }
+
+    #[test]
+    fn edge_list_rejects_small_hint() {
+        let text = "0 5\n";
+        assert!(read_edge_list(Cursor::new(text), Some(3)).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mincut-graph — graph substrate for shared-memory minimum cut
+//!
+//! Everything the solvers in `mincut-core` and `mincut-flow` need to stand
+//! on, built from scratch:
+//!
+//! * [`CsrGraph`] — an immutable, cache-friendly compressed-sparse-row
+//!   representation of a simple undirected graph with positive integer edge
+//!   weights, plus the [`GraphBuilder`] that normalises arbitrary edge lists
+//!   (duplicate merging, self-loop removal) into it;
+//! * [`contract`] — weighted graph contraction, sequential and parallel
+//!   (§3.2 of the paper), collapsing union-find blocks into single vertices
+//!   while summing parallel edge weights;
+//! * [`generators`] — the instance families of the paper's evaluation:
+//!   random hyperbolic graphs (Appendix A.1), RMAT and preferential
+//!   attachment proxies for the web/social instances, Erdős–Rényi graphs,
+//!   and deterministic families with *known* minimum cuts for testing;
+//! * [`kcore`] — the O(m) core-decomposition of Batagelj & Zaversnik used to
+//!   prepare the paper's real-world instances (Appendix A.2);
+//! * [`components`] — connected components (the paper's instances are the
+//!   largest connected component of a k-core);
+//! * [`io`] — METIS and edge-list readers/writers.
+
+pub mod components;
+pub mod contract;
+mod csr;
+pub mod generators;
+pub mod io;
+pub mod kcore;
+pub mod stats;
+
+pub use csr::{CsrGraph, GraphBuilder};
+
+/// Vertex identifier. Graphs up to ~4.2 billion vertices.
+pub type NodeId = u32;
+
+/// Edge weight. The paper assumes non-negative integer weights; we use `u64`
+/// so that accumulated connectivities and cut values never overflow for any
+/// realistic input.
+pub type EdgeWeight = u64;

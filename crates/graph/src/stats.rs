@@ -1,0 +1,186 @@
+//! Graph statistics: degree distributions and structural summaries.
+//!
+//! Used by the experiment harness to verify that generated instances have
+//! the structural properties the paper's families rely on (power-law
+//! degrees with exponent ≈ 5 for the RHG family, heavy hubs for the
+//! web/social proxies) and by users to characterise their own inputs.
+
+use crate::{CsrGraph, EdgeWeight, NodeId};
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    pub n: usize,
+    pub m: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    pub min_weighted_degree: EdgeWeight,
+    pub max_weighted_degree: EdgeWeight,
+    pub total_edge_weight: EdgeWeight,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphStats`] in one pass.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.n();
+    let mut min_d = usize::MAX;
+    let mut max_d = 0usize;
+    let mut min_w = EdgeWeight::MAX;
+    let mut max_w = 0;
+    let mut isolated = 0;
+    for v in 0..n as NodeId {
+        let d = g.degree(v);
+        let w = g.weighted_degree(v);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+        min_w = min_w.min(w);
+        max_w = max_w.max(w);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if n == 0 {
+        min_d = 0;
+        min_w = 0;
+    }
+    GraphStats {
+        n,
+        m: g.m(),
+        min_degree: min_d,
+        max_degree: max_d,
+        avg_degree: g.avg_degree(),
+        min_weighted_degree: min_w,
+        max_weighted_degree: max_w,
+        total_edge_weight: g.total_edge_weight(),
+        isolated,
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with (unweighted)
+/// degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in 0..g.n() as NodeId {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Crude maximum-likelihood estimate of the power-law exponent γ of the
+/// degree distribution, for degrees ≥ `d_min` (Clauset–Shalizi–Newman's
+/// discrete approximation `γ ≈ 1 + n / Σ ln(d / (d_min − ½))`).
+///
+/// Returns `None` if fewer than 10 vertices have degree ≥ `d_min`.
+pub fn power_law_exponent(g: &CsrGraph, d_min: usize) -> Option<f64> {
+    assert!(d_min >= 1);
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    let shift = d_min as f64 - 0.5;
+    for v in 0..g.n() as NodeId {
+        let d = g.degree(v);
+        if d >= d_min {
+            count += 1;
+            log_sum += (d as f64 / shift).ln();
+        }
+    }
+    (count >= 10).then(|| 1.0 + count as f64 / log_sum)
+}
+
+/// Unweighted diameter lower bound via a double BFS sweep (exact on
+/// trees, a good lower bound in general); `None` for empty graphs.
+pub fn diameter_lower_bound(g: &CsrGraph) -> Option<usize> {
+    if g.n() == 0 {
+        return None;
+    }
+    let (far, _) = bfs_farthest(g, 0);
+    let (_, dist) = bfs_farthest(g, far);
+    Some(dist)
+}
+
+fn bfs_farthest(g: &CsrGraph, start: NodeId) -> (NodeId, usize) {
+    const UNSEEN: u32 = u32::MAX;
+    let mut dist = vec![UNSEEN; g.n()];
+    dist[start as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    let mut far = start;
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNSEEN {
+                dist[v as usize] = dist[u as usize] + 1;
+                if dist[v as usize] > dist[far as usize] {
+                    far = v;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    (far, dist[far as usize] as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::known;
+
+    #[test]
+    fn stats_on_path() {
+        let (g, _) = known::path_graph(5, 3);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_weighted_degree, 3);
+        assert_eq!(s.max_weighted_degree, 6);
+        assert_eq!(s.total_edge_weight, 12);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let (g, _) = known::grid_graph(4, 5, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.n());
+        assert_eq!(hist[2], 4, "four corners of degree 2");
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        let (g, _) = known::path_graph(10, 1);
+        assert_eq!(diameter_lower_bound(&g), Some(9));
+        let (g, _) = known::cycle_graph(10, 1);
+        assert_eq!(diameter_lower_bound(&g), Some(5));
+    }
+
+    #[test]
+    fn power_law_estimate_on_rhg_is_near_5() {
+        use crate::generators::{random_hyperbolic_graph, RhgParams};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(44);
+        let g = random_hyperbolic_graph(&RhgParams::paper(1 << 13, 16.0), &mut rng);
+        let gamma = power_law_exponent(&g, 32).expect("enough tail vertices");
+        assert!(
+            (3.0..8.0).contains(&gamma),
+            "γ estimate {gamma} not in a plausible band around 5"
+        );
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = CsrGraph::empty();
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(diameter_lower_bound(&g), None);
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1)]);
+        assert_eq!(graph_stats(&g).isolated, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the CSR builder's normalisation invariants: sorted
+//! adjacency, merged duplicates, dropped self-loops, symmetric arcs, and
+//! degree-sum identities — the foundation every algorithm implicitly
+//! trusts.
+
+use mincut_graph::{CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn raw_edges() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, u64)>)> {
+    (1usize..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId, 0u64..6),
+            0..(4 * n),
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn builder_invariants((n, edges) in raw_edges()) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+
+        // Arc count is even and degree sum equals it.
+        prop_assert_eq!(g.num_arcs() % 2, 0);
+        let degree_sum: usize = (0..n as NodeId).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.num_arcs());
+
+        // Adjacency sorted strictly ascending: sorted + no duplicates.
+        for v in 0..n as NodeId {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "vertex {} list {:?}", v, nb);
+            prop_assert!(!nb.contains(&v), "self-loop survived at {}", v);
+        }
+
+        // Symmetry: (u, v, w) stored from both sides with equal weight.
+        for u in 0..n as NodeId {
+            for (v, w) in g.arcs(u) {
+                prop_assert_eq!(g.edge_weight(v, u), Some(w));
+            }
+        }
+
+        // Total weight equals the sum of the input (self-loops excluded).
+        let expected: u64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(_, _, w)| w)
+            .sum();
+        prop_assert_eq!(g.total_edge_weight(), expected);
+
+        // Weighted degree consistency.
+        for v in 0..n as NodeId {
+            let sum: u64 = g.neighbor_weights(v).iter().sum();
+            prop_assert_eq!(g.weighted_degree(v), sum);
+        }
+    }
+
+    #[test]
+    fn from_edges_equals_incremental_build((n, edges) in raw_edges()) {
+        let direct = CsrGraph::from_edges(n, &edges);
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        prop_assert_eq!(direct, b.build());
+    }
+
+    #[test]
+    fn permutation_roundtrip((n, edges) in raw_edges(), seed in any::<u64>()) {
+        use mincut_graph::generators::random_permutation;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let perm = random_permutation(n, &mut rng);
+        let h = g.permuted(&perm);
+        // Inverse permutation restores the original graph.
+        let mut inv = vec![0 as NodeId; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as NodeId;
+        }
+        prop_assert_eq!(h.permuted(&inv), g);
+    }
+}

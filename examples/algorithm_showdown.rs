@@ -1,0 +1,83 @@
+//! Runs every algorithm in the library — the paper's optimised variants,
+//! its comparators and the inexact heuristics — on one instance and
+//! prints a ranking table, a miniature of the paper's Figure 4.
+//!
+//! Run with: `cargo run --release --example algorithm_showdown`
+//! (set SHOWDOWN_N to change the instance size; default 2^12 vertices)
+
+use sm_mincut::graph::generators::{barabasi_albert, random_hyperbolic_graph, RhgParams};
+use sm_mincut::graph::kcore::k_core_lcc;
+use sm_mincut::{minimum_cut, Algorithm, CsrGraph, PqKind};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn instances() -> Vec<(&'static str, CsrGraph)> {
+    let n: usize = std::env::var("SHOWDOWN_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 12);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let rhg = random_hyperbolic_graph(&RhgParams::paper(n, 16.0), &mut rng);
+    let ba = barabasi_albert(n, 8, &mut rng);
+    // BA with attach 8 has degeneracy 8; the 8-core is the deepest
+    // non-empty core (the whole hub-heavy graph).
+    let (core, _) = k_core_lcc(&ba, 8);
+    assert!(core.n() > 2, "showdown instance must be non-trivial");
+    vec![("rhg(power-law-5)", rhg), ("social-k-core", core)]
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let algos: Vec<(Algorithm, &str)> = vec![
+        (Algorithm::NoiBoundedVieCut { pq: PqKind::Heap }, "exact"),
+        (Algorithm::NoiBounded { pq: PqKind::Heap }, "exact"),
+        (Algorithm::NoiBounded { pq: PqKind::BStack }, "exact"),
+        (Algorithm::NoiBounded { pq: PqKind::BQueue }, "exact"),
+        (Algorithm::NoiHnss, "exact"),
+        (Algorithm::ParCut { pq: PqKind::BQueue, threads }, "exact"),
+        (Algorithm::StoerWagner, "exact"),
+        (Algorithm::HaoOrlin, "exact"),
+        (Algorithm::KargerStein { repetitions: 5 }, "monte-carlo"),
+        (Algorithm::VieCut, "heuristic"),
+        (Algorithm::Matula { epsilon: 0.5 }, "(2+ε)-approx"),
+    ];
+
+    for (name, g) in instances() {
+        println!("\n=== {name}: n = {}, m = {} ===", g.n(), g.m());
+        let mut rows: Vec<(String, &str, u64, f64)> = Vec::new();
+        let mut exact_value = None;
+        for (algo, kind) in &algos {
+            let t0 = Instant::now();
+            let r = minimum_cut(&g, algo.clone());
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(r.verify(&g), "{algo} returned a bad witness");
+            if *kind == "exact" {
+                match exact_value {
+                    None => exact_value = Some(r.value),
+                    Some(v) => assert_eq!(v, r.value, "{algo} disagrees"),
+                }
+            }
+            rows.push((algo.to_string(), kind, r.value, secs));
+        }
+        let best = rows
+            .iter()
+            .filter(|r| r.1 == "exact")
+            .map(|r| r.3)
+            .fold(f64::INFINITY, f64::min);
+        rows.sort_by(|a, b| a.3.partial_cmp(&b.3).unwrap());
+        println!(
+            "{:<30} {:>12} {:>8} {:>10} {:>8}",
+            "algorithm", "kind", "λ", "time(ms)", "vs best"
+        );
+        for (name, kind, value, secs) in rows {
+            println!(
+                "{name:<30} {kind:>12} {value:>8} {:>10.2} {:>7.1}x",
+                secs * 1e3,
+                secs / best
+            );
+        }
+        println!("exact minimum cut λ = {}", exact_value.unwrap());
+    }
+}

@@ -1,0 +1,204 @@
+//! `mincut` — command-line exact minimum cut solver.
+//!
+//! ```text
+//! mincut [OPTIONS] <GRAPH>
+//!
+//! ARGS:
+//!   <GRAPH>    METIS file (*.graph, *.metis) or edge list (anything else;
+//!              lines "u v [w]", 0-based, # comments). "-" reads stdin as
+//!              an edge list.
+//!
+//! OPTIONS:
+//!   -a, --algorithm <NAME>   noi-viecut (default) | noi | noi-hnss |
+//!                            parcut | stoer-wagner | hao-orlin |
+//!                            karger-stein | viecut | matula
+//!   -q, --queue <KIND>       bstack | bqueue | heap (default heap)
+//!   -t, --threads <N>        worker threads for parcut (default: all)
+//!   -s, --seed <N>           RNG seed (default 42)
+//!       --side               print one side of the optimal cut
+//!       --edges              print the cut edge set
+//!   -h, --help
+//! ```
+
+use std::process::exit;
+
+use sm_mincut::graph::io::{read_edge_list, read_metis};
+use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, PqKind};
+
+struct Options {
+    path: String,
+    algorithm: String,
+    queue: PqKind,
+    threads: usize,
+    seed: u64,
+    print_side: bool,
+    print_edges: bool,
+}
+
+fn usage() -> ! {
+    eprint!("{}", HELP);
+    exit(2)
+}
+
+const HELP: &str = "\
+mincut - exact minimum cut solver (Henzinger-Noe-Schulz, IPDPS 2019)
+
+USAGE: mincut [OPTIONS] <GRAPH>
+
+ARGS:
+  <GRAPH>  METIS file (*.graph, *.metis) or edge list; '-' = stdin edge list
+
+OPTIONS:
+  -a, --algorithm <NAME>  noi-viecut (default) | noi | noi-hnss | parcut |
+                          stoer-wagner | hao-orlin | karger-stein | viecut |
+                          matula
+  -q, --queue <KIND>      bstack | bqueue | heap (default heap)
+  -t, --threads <N>       worker threads for parcut (default: all cores)
+  -s, --seed <N>          RNG seed (default 42)
+      --side              print one side of the optimal cut
+      --edges             print the cut edge set
+  -h, --help              show this help
+";
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        path: String::new(),
+        algorithm: "noi-viecut".into(),
+        queue: PqKind::Heap,
+        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        seed: 42,
+        print_side: false,
+        print_edges: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                exit(0)
+            }
+            "-a" | "--algorithm" => opts.algorithm = value("--algorithm"),
+            "-q" | "--queue" => {
+                let v = value("--queue");
+                opts.queue = v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    exit(2)
+                });
+            }
+            "-t" | "--threads" => {
+                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threads needs a positive integer");
+                    exit(2)
+                });
+            }
+            "-s" | "--seed" => {
+                opts.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed needs an integer");
+                    exit(2)
+                });
+            }
+            "--side" => opts.print_side = true,
+            "--edges" => opts.print_edges = true,
+            _ if a.starts_with('-') && a != "-" => {
+                eprintln!("error: unknown option {a}");
+                usage()
+            }
+            _ => {
+                if !opts.path.is_empty() {
+                    eprintln!("error: multiple graph arguments");
+                    usage()
+                }
+                opts.path = a;
+            }
+        }
+    }
+    if opts.path.is_empty() {
+        eprintln!("error: missing graph argument");
+        usage()
+    }
+    opts
+}
+
+fn load_graph(path: &str) -> CsrGraph {
+    let result = if path == "-" {
+        let stdin = std::io::stdin();
+        read_edge_list(stdin.lock(), None)
+    } else {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            exit(1)
+        });
+        let reader = std::io::BufReader::new(file);
+        if path.ends_with(".graph") || path.ends_with(".metis") {
+            read_metis(reader)
+        } else {
+            read_edge_list(reader, None)
+        }
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("error: failed to parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn resolve_algorithm(opts: &Options) -> Algorithm {
+    match opts.algorithm.as_str() {
+        "noi-viecut" => Algorithm::NoiBoundedVieCut { pq: opts.queue },
+        "noi" => Algorithm::NoiBounded { pq: opts.queue },
+        "noi-hnss" => Algorithm::NoiHnss,
+        "parcut" => Algorithm::ParCut {
+            pq: opts.queue,
+            threads: opts.threads,
+        },
+        "stoer-wagner" => Algorithm::StoerWagner,
+        "hao-orlin" => Algorithm::HaoOrlin,
+        "karger-stein" => Algorithm::KargerStein { repetitions: 16 },
+        "viecut" => Algorithm::VieCut,
+        "matula" => Algorithm::Matula { epsilon: 0.5 },
+        other => {
+            eprintln!("error: unknown algorithm {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let algo = resolve_algorithm(&opts);
+    let g = load_graph(&opts.path);
+    if g.n() < 2 {
+        eprintln!("error: the graph has fewer than two vertices");
+        exit(1);
+    }
+    eprintln!("graph: n = {}, m = {}", g.n(), g.m());
+    let t0 = std::time::Instant::now();
+    let result = minimum_cut_seeded(&g, algo.clone(), opts.seed);
+    let elapsed = t0.elapsed().as_secs_f64();
+    eprintln!("algorithm: {algo} ({elapsed:.3} s)");
+    println!("lambda {}", result.value);
+    if !result.verify(&g) {
+        eprintln!("internal error: witness failed verification");
+        exit(1);
+    }
+    let side = result.side.expect("verified witness present");
+    if opts.print_side {
+        let members: Vec<String> = (0..g.n())
+            .filter(|&v| side[v])
+            .map(|v| v.to_string())
+            .collect();
+        println!("side {}", members.join(" "));
+    }
+    if opts.print_edges {
+        for (u, v, w) in g.edges() {
+            if side[u as usize] != side[v as usize] {
+                println!("cutedge {u} {v} {w}");
+            }
+        }
+    }
+}

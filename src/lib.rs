@@ -1,0 +1,37 @@
+//! # sm-mincut — shared-memory exact minimum cuts
+//!
+//! Facade crate: re-exports the whole workspace under one roof. This is
+//! the crate downstream users depend on; the examples in `examples/` and
+//! the integration tests in `tests/` are written against it.
+//!
+//! * [`graph`] — CSR graphs, builders, generators, k-cores, components, IO
+//!   (`mincut-graph`);
+//! * [`algorithms`] — every minimum-cut algorithm of the paper behind the
+//!   unified [`minimum_cut`] front door (`mincut-core`);
+//! * [`flow`] — push-relabel max-flow and Hao–Orlin (`mincut-flow`);
+//! * [`ds`] — the priority queues and concurrent structures
+//!   (`mincut-ds`), exposed for users building their own drivers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sm_mincut::{minimum_cut, Algorithm, CsrGraph};
+//!
+//! let g = CsrGraph::from_edges(5, &[
+//!     (0, 1, 3), (1, 2, 3), (0, 2, 3), // a triangle...
+//!     (2, 3, 1),                        // ...weakly attached to...
+//!     (3, 4, 3),                        // ...a heavy pair.
+//! ]);
+//! let cut = minimum_cut(&g, Algorithm::default());
+//! assert_eq!(cut.value, 1);
+//! assert!(cut.verify(&g));
+//! ```
+
+pub use mincut_core as algorithms;
+pub use mincut_ds as ds;
+pub use mincut_flow as flow;
+pub use mincut_graph as graph;
+
+// The names a typical user needs, flattened.
+pub use mincut_core::{minimum_cut, minimum_cut_seeded, Algorithm, Membership, MinCutResult, PqKind};
+pub use mincut_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};

@@ -1,0 +1,91 @@
+//! Property tests for the contraction substrate (§3.2): sequential and
+//! parallel contraction agree, cut values of cluster-respecting cuts are
+//! preserved, total boundary weight is conserved, and the membership
+//! tracker composes correctly over multiple rounds.
+
+use proptest::prelude::*;
+use sm_mincut::algorithms::Membership;
+use sm_mincut::graph::contract::{contract, contract_parallel};
+use sm_mincut::{CsrGraph, NodeId};
+
+fn graph_and_labels() -> impl Strategy<Value = (CsrGraph, Vec<NodeId>, usize)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId, 1u64..9),
+            n..(3 * n),
+        );
+        let blocks = 2usize..=n.min(8);
+        (Just(n), edges, blocks).prop_flat_map(|(n, edges, blocks)| {
+            proptest::collection::vec(0..blocks as NodeId, n).prop_map(move |mut raw| {
+                // Force every block id in [0, blocks) to appear so the
+                // labelling is dense.
+                let len = raw.len();
+                for b in 0..blocks {
+                    raw[b % len] = b as NodeId;
+                }
+                let g = CsrGraph::from_edges(
+                    n,
+                    &edges
+                        .iter()
+                        .copied()
+                        .filter(|&(u, v, _)| u != v)
+                        .collect::<Vec<_>>(),
+                );
+                (g, raw, blocks)
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_equals_parallel((g, labels, blocks) in graph_and_labels()) {
+        let s = contract(&g, &labels, blocks);
+        let p = contract_parallel(&g, &labels, blocks);
+        prop_assert_eq!(s, p);
+    }
+
+    #[test]
+    fn block_respecting_cuts_preserved((g, labels, blocks) in graph_and_labels()) {
+        let c = contract(&g, &labels, blocks);
+        // Any bipartition of the blocks lifts to a cut of g with the same
+        // value; check a handful of deterministic bipartitions.
+        for mask in 1u32..(1u32 << (blocks - 1)).min(16) {
+            let block_side: Vec<bool> = (0..blocks).map(|b| (mask >> b) & 1 == 1).collect();
+            let lifted: Vec<bool> = labels.iter().map(|&l| block_side[l as usize]).collect();
+            prop_assert_eq!(c.cut_value(&block_side), g.cut_value(&lifted));
+        }
+    }
+
+    #[test]
+    fn contraction_conserves_cross_block_weight((g, labels, blocks) in graph_and_labels()) {
+        let c = contract(&g, &labels, blocks);
+        let cross: u64 = g
+            .edges()
+            .filter(|&(u, v, _)| labels[u as usize] != labels[v as usize])
+            .map(|(_, _, w)| w)
+            .sum();
+        prop_assert_eq!(c.total_edge_weight(), cross);
+        prop_assert_eq!(c.n(), blocks);
+    }
+
+    #[test]
+    fn membership_composes((g, labels, blocks) in graph_and_labels()) {
+        let mut m = Membership::identity(g.n());
+        m.contract(&labels, blocks);
+        // Every original vertex appears in exactly one block list.
+        let mut seen = vec![0usize; g.n()];
+        for b in 0..blocks as NodeId {
+            for &orig in m.members(b) {
+                seen[orig as usize] += 1;
+                prop_assert_eq!(labels[orig as usize], b);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // A second round: merge everything into one block.
+        m.contract(&vec![0; blocks], 1);
+        prop_assert_eq!(m.members(0).len(), g.n());
+    }
+}

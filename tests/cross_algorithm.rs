@@ -1,0 +1,141 @@
+//! Cross-crate integration: every exact algorithm must agree — with each
+//! other, with the brute-force oracle, and with its own witness — on
+//! randomly generated weighted graphs. This is the strongest correctness
+//! statement the workspace makes: seven independent implementations
+//! (bounded/unbounded NOI × three queues, ParCut, Stoer–Wagner,
+//! Hao–Orlin) agreeing on thousands of instances.
+
+use proptest::prelude::*;
+use sm_mincut::graph::generators::known::brute_force_mincut;
+use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, NodeId, PqKind};
+
+/// Strategy: a random connected weighted graph with n in [2, 10] for the
+/// brute-force comparison tier.
+fn small_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..10).prop_flat_map(|n| {
+        let tree_edges = proptest::collection::vec(1u64..8, n - 1);
+        let extra = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId, 1u64..8),
+            0..(n * 2),
+        );
+        (Just(n), tree_edges, extra).prop_map(|(n, tree_w, extra)| {
+            let mut edges = Vec::new();
+            for (v, w) in (1..n as NodeId).zip(tree_w) {
+                edges.push((v / 2, v, w)); // binary-tree backbone: connected
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            CsrGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+fn exact_algorithms() -> Vec<Algorithm> {
+    let mut v = vec![
+        Algorithm::NoiHnss,
+        Algorithm::NoiHnssVieCut,
+        Algorithm::StoerWagner,
+        Algorithm::HaoOrlin,
+        Algorithm::ParCut {
+            pq: PqKind::BQueue,
+            threads: 2,
+        },
+    ];
+    for pq in PqKind::ALL {
+        v.push(Algorithm::NoiBounded { pq });
+        v.push(Algorithm::NoiBoundedVieCut { pq });
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_algorithms_match_brute_force(g in small_graph(), seed in 0u64..1000) {
+        let expected = brute_force_mincut(&g);
+        for algo in exact_algorithms() {
+            let name = algo.to_string();
+            let r = minimum_cut_seeded(&g, algo, seed);
+            prop_assert_eq!(r.value, expected, "{} on {:?}", name, g);
+            prop_assert!(r.verify(&g), "{} witness", name);
+        }
+    }
+
+    #[test]
+    fn inexact_algorithms_upper_bound(g in small_graph(), seed in 0u64..1000) {
+        let expected = brute_force_mincut(&g);
+        for algo in [
+            Algorithm::VieCut,
+            Algorithm::KargerStein { repetitions: 2 },
+            Algorithm::Matula { epsilon: 0.5 },
+        ] {
+            let name = algo.to_string();
+            let r = minimum_cut_seeded(&g, algo.clone(), seed);
+            prop_assert!(r.value >= expected, "{} went below λ", name);
+            prop_assert!(r.verify(&g), "{} must report an actual cut", name);
+            if let Algorithm::Matula { epsilon } = algo {
+                let bound = ((2.0 + epsilon) * expected as f64).floor() as u64;
+                prop_assert!(r.value <= bound, "(2+ε) violated by {}", name);
+            }
+        }
+    }
+}
+
+/// Medium tier: no brute force, but all exact algorithms must agree among
+/// themselves on graphs with up to a few hundred vertices.
+#[test]
+fn exact_algorithms_agree_on_medium_random_graphs() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(20190522);
+    for trial in 0..8 {
+        let n = rng.gen_range(50..250);
+        let mut edges = Vec::new();
+        for v in 1..n as NodeId {
+            edges.push((rng.gen_range(0..v), v, rng.gen_range(1..10)));
+        }
+        for _ in 0..4 * n {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u != v {
+                edges.push((u, v, rng.gen_range(1..10)));
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut value = None;
+        for algo in exact_algorithms() {
+            let name = algo.to_string();
+            let r = minimum_cut_seeded(&g, algo, trial);
+            assert!(r.verify(&g), "{name} witness, trial {trial}");
+            match value {
+                None => value = Some(r.value),
+                Some(v) => assert_eq!(v, r.value, "{name} disagrees, trial {trial}"),
+            }
+        }
+    }
+}
+
+/// The paper's RHG configuration: exact algorithms agree on a real
+/// power-law-5 hyperbolic instance.
+#[test]
+fn exact_algorithms_agree_on_rhg() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sm_mincut::graph::generators::{random_hyperbolic_graph, RhgParams};
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = random_hyperbolic_graph(&RhgParams::paper(1 << 10, 12.0), &mut rng);
+    let mut value = None;
+    for algo in exact_algorithms() {
+        let name = algo.to_string();
+        let r = minimum_cut_seeded(&g, algo, 17);
+        assert!(r.verify(&g), "{name}");
+        match value {
+            None => value = Some(r.value),
+            Some(v) => assert_eq!(v, r.value, "{name}"),
+        }
+    }
+}
