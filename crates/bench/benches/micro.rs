@@ -124,7 +124,9 @@ fn bench_contraction(c: &mut Criterion) {
     let labels: Vec<NodeId> = (0..g.n() as NodeId).map(|v| v / 16).collect();
     let blocks = g.n().div_ceil(16);
     let mut group = c.benchmark_group("contraction");
-    group.bench_function("sequential", |b| b.iter(|| contract(&g, &labels, blocks).m()));
+    group.bench_function("sequential", |b| {
+        b.iter(|| contract(&g, &labels, blocks).m())
+    });
     group.bench_function("parallel", |b| {
         b.iter(|| contract_parallel(&g, &labels, blocks).m())
     });

@@ -4,7 +4,7 @@
 //! sequential ranking as Figures 2–4 in miniature.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mincut_bench::runner::{run_once, BenchAlgo};
+use mincut_bench::runner::{run_once, BenchSpec};
 use mincut_core::PqKind;
 use mincut_graph::generators::{barabasi_albert, random_hyperbolic_graph, RhgParams};
 use mincut_graph::kcore::k_core_lcc;
@@ -27,28 +27,35 @@ fn social_instance() -> CsrGraph {
     core
 }
 
-fn algos() -> Vec<BenchAlgo> {
-    vec![
-        BenchAlgo::HoCgkls,
-        BenchAlgo::NoiHnss,
-        BenchAlgo::NoiBounded(PqKind::Heap),
-        BenchAlgo::NoiBounded(PqKind::BStack),
-        BenchAlgo::NoiBounded(PqKind::BQueue),
-        BenchAlgo::NoiBoundedVieCut(PqKind::Heap),
-        BenchAlgo::ParCut(PqKind::BQueue, 2),
-        BenchAlgo::VieCut,
-        BenchAlgo::StoerWagner,
+fn algos() -> Vec<BenchSpec> {
+    let mut v: Vec<BenchSpec> = [
+        "HO-CGKLS",
+        "NOI-HNSS",
+        "NOIλ̂-Heap",
+        "NOIλ̂-BStack",
+        "NOIλ̂-BQueue",
+        "NOIλ̂-Heap-VieCut",
+        "VieCut",
+        "StoerWagner",
         // Karger–Stein is orders of magnitude slower (the point the paper's
         // §4.1 cites); it is measured once in the fig/showdown harnesses
         // rather than criterion-sampled here.
     ]
+    .into_iter()
+    .map(BenchSpec::named)
+    .collect();
+    v.push(BenchSpec::parcut(PqKind::BQueue, 2));
+    v
 }
 
 fn bench_solvers(c: &mut Criterion) {
-    for (label, g) in [("rhg_2^10", rhg_instance()), ("ba_2^10_k8", social_instance())] {
+    for (label, g) in [
+        ("rhg_2^10", rhg_instance()),
+        ("ba_2^10_k8", social_instance()),
+    ] {
         let mut group = c.benchmark_group(format!("solvers_{label}"));
         for algo in algos() {
-            group.bench_function(algo.to_string(), |b| b.iter(|| run_once(&g, algo, 3).0));
+            group.bench_function(algo.to_string(), |b| b.iter(|| run_once(&g, &algo, 3).0));
         }
         group.finish();
     }

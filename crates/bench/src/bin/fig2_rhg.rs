@@ -16,7 +16,15 @@ fn main() {
     let scale = Scale::from_env();
     let reps = scale.repetitions();
     println!("== Figure 2: ns/edge on RHG graphs (scale {scale:?}, {reps} reps) ==\n");
-    let mut table = Table::new(&["log2_n", "log2_deg", "n", "m", "algorithm", "lambda", "ns_per_edge"]);
+    let mut table = Table::new(&[
+        "log2_n",
+        "log2_deg",
+        "n",
+        "m",
+        "algorithm",
+        "lambda",
+        "ns_per_edge",
+    ]);
 
     for (ne, de, inst) in fig2_grid(scale) {
         let g = &inst.graph;
@@ -24,7 +32,7 @@ fn main() {
         eprintln!("[instance {} : n={} m={}]", inst.name, g.n(), m);
         let mut reference = None;
         for algo in fig2_algorithms() {
-            let (value, secs) = run_avg(g, algo, reps, 7);
+            let (value, secs) = run_avg(g, &algo, reps, 7);
             match reference {
                 None => reference = Some(value),
                 Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),

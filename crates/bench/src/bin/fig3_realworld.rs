@@ -6,9 +6,8 @@
 //! NOIλ̂-Heap, and the VieCut variant over the non-VieCut variant.
 
 use mincut_bench::instances::{realworld_proxies, Scale};
-use mincut_bench::runner::{run_avg, BenchAlgo};
+use mincut_bench::runner::{run_avg, BenchSpec};
 use mincut_bench::table::{geometric_mean, Table};
-use mincut_core::PqKind;
 
 fn main() {
     let scale = Scale::from_env();
@@ -16,18 +15,30 @@ fn main() {
     println!("== Figure 3: slowdown vs NOIλ̂-Heap-VieCut on real-world proxies ==");
     println!("   (scale {scale:?}, {reps} reps)\n");
 
-    let algorithms = vec![
-        BenchAlgo::HoCgkls,
-        BenchAlgo::NoiCgkls,
-        BenchAlgo::NoiHnss,
-        BenchAlgo::NoiBounded(PqKind::Heap),
-        BenchAlgo::NoiBounded(PqKind::BStack),
-        BenchAlgo::NoiBounded(PqKind::BQueue),
-        BenchAlgo::NoiHnssVieCut,
-        BenchAlgo::NoiBoundedVieCut(PqKind::Heap),
-    ];
+    // Registry spellings; the runner resolves them through SolverRegistry.
+    let algorithms: Vec<BenchSpec> = [
+        "HO-CGKLS",
+        "NOI-CGKLS",
+        "NOI-HNSS",
+        "NOIλ̂-Heap",
+        "NOIλ̂-BStack",
+        "NOIλ̂-BQueue",
+        "NOI-HNSS-VieCut",
+        "NOIλ̂-Heap-VieCut",
+    ]
+    .into_iter()
+    .map(BenchSpec::named)
+    .collect();
 
-    let mut table = Table::new(&["graph", "m", "avg_deg", "algorithm", "lambda", "seconds", "slowdown"]);
+    let mut table = Table::new(&[
+        "graph",
+        "m",
+        "avg_deg",
+        "algorithm",
+        "lambda",
+        "seconds",
+        "slowdown",
+    ]);
     let mut speedup_bounded = Vec::new(); // NOI-HNSS / NOIλ̂-Heap
     let mut speedup_bstack = Vec::new(); // NOIλ̂-Heap / NOIλ̂-BStack
     let mut speedup_viecut = Vec::new(); // NOIλ̂-Heap / NOIλ̂-Heap-VieCut
@@ -37,7 +48,7 @@ fn main() {
         eprintln!("[instance {} : n={} m={}]", inst.name, g.n(), g.m());
         let mut times = std::collections::HashMap::new();
         let mut reference = None;
-        for &algo in &algorithms {
+        for algo in &algorithms {
             let (value, secs) = run_avg(g, algo, reps, 11);
             match reference {
                 None => reference = Some(value),
@@ -45,8 +56,8 @@ fn main() {
             }
             times.insert(algo.to_string(), secs);
         }
-        let base = times["NOIl-Heap-VieCut"];
-        for &algo in &algorithms {
+        let base = times["NOIλ̂-Heap-VieCut"];
+        for algo in &algorithms {
             let secs = times[&algo.to_string()];
             table.row(vec![
                 inst.name.clone(),
@@ -58,9 +69,9 @@ fn main() {
                 format!("{:.2}", secs / base),
             ]);
         }
-        speedup_bounded.push(times["NOI-HNSS"] / times["NOIl-Heap"]);
-        speedup_bstack.push(times["NOIl-Heap"] / times["NOIl-BStack"]);
-        speedup_viecut.push(times["NOIl-Heap"] / times["NOIl-Heap-VieCut"]);
+        speedup_bounded.push(times["NOI-HNSS"] / times["NOIλ̂-Heap"]);
+        speedup_bstack.push(times["NOIλ̂-Heap"] / times["NOIλ̂-BStack"]);
+        speedup_viecut.push(times["NOIλ̂-Heap"] / times["NOIλ̂-Heap-VieCut"]);
     }
     table.emit("fig3_realworld");
 

@@ -28,9 +28,14 @@ fn main() {
     // times[a][i] = seconds of algorithm a on instance i.
     let mut times = vec![Vec::new(); algorithms.len()];
     for inst in &instances {
-        eprintln!("[instance {} : n={} m={}]", inst.name, inst.graph.n(), inst.graph.m());
+        eprintln!(
+            "[instance {} : n={} m={}]",
+            inst.name,
+            inst.graph.n(),
+            inst.graph.m()
+        );
         let mut reference = None;
-        for (ai, &algo) in algorithms.iter().enumerate() {
+        for (ai, algo) in algorithms.iter().enumerate() {
             let (value, secs) = run_avg(&inst.graph, algo, reps, 13);
             match reference {
                 None => reference = Some(value),
@@ -42,12 +47,7 @@ fn main() {
 
     let n_inst = instances.len();
     let best: Vec<f64> = (0..n_inst)
-        .map(|i| {
-            times
-                .iter()
-                .map(|t| t[i])
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|i| times.iter().map(|t| t[i]).fold(f64::INFINITY, f64::min))
         .collect();
 
     let mut table = Table::new(&["algorithm", "instance_rank", "ratio_best_over_algo"]);

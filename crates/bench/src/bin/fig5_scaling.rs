@@ -14,7 +14,7 @@
 //! reproducible without cores (EXPERIMENTS.md discusses this).
 
 use mincut_bench::instances::{fig5_instances, fig5_thread_counts, Scale};
-use mincut_bench::runner::{run_avg, BenchAlgo};
+use mincut_bench::runner::{run_avg, BenchSpec};
 use mincut_bench::table::Table;
 use mincut_core::PqKind;
 
@@ -39,14 +39,14 @@ fn main() {
         eprintln!("[instance {} : n={} m={}]", inst.name, g.n(), g.m());
 
         // Best sequential baseline, as in the paper's bottom row.
-        let (seq_value, t_heap) = run_avg(g, BenchAlgo::NoiBounded(PqKind::Heap), reps, 3);
-        let (_, t_bstack) = run_avg(g, BenchAlgo::NoiBounded(PqKind::BStack), reps, 3);
+        let (seq_value, t_heap) = run_avg(g, &BenchSpec::noi_bounded(PqKind::Heap), reps, 3);
+        let (_, t_bstack) = run_avg(g, &BenchSpec::noi_bounded(PqKind::BStack), reps, 3);
         let best_seq = t_heap.min(t_bstack);
 
         for pq in [PqKind::BStack, PqKind::BQueue, PqKind::Heap] {
             let mut t1 = None;
             for &p in &threads {
-                let (value, secs) = run_avg(g, BenchAlgo::ParCut(pq, p), reps, 5);
+                let (value, secs) = run_avg(g, &BenchSpec::parcut(pq, p), reps, 5);
                 assert_eq!(value, seq_value, "parallel result must match sequential");
                 let t1v = *t1.get_or_insert(secs);
                 table.row(vec![

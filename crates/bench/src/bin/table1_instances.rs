@@ -14,7 +14,9 @@ fn main() {
     let scale = Scale::from_env();
     println!("== Table 1: instance statistics (scale {scale:?}) ==");
     println!("   paper columns: graph | n | m | k | core n | core m | λ | δ\n");
-    let mut table = Table::new(&["graph", "n", "m", "k", "core_n", "core_m", "lambda", "delta"]);
+    let mut table = Table::new(&[
+        "graph", "n", "m", "k", "core_n", "core_m", "lambda", "delta",
+    ]);
 
     let (ba_n, rmat_scale) = match scale {
         Scale::Tiny => (1usize << 10, 10u32),

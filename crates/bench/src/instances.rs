@@ -11,7 +11,9 @@
 //! * `SMC_SCALE=full`  — the largest sizes this machine's memory allows.
 
 use mincut_ds::hash::FxHashSet;
-use mincut_graph::generators::{barabasi_albert, gnm, random_hyperbolic_graph, rmat, RhgParams, RmatParams};
+use mincut_graph::generators::{
+    barabasi_albert, gnm, random_hyperbolic_graph, rmat, RhgParams, RmatParams,
+};
 use mincut_graph::kcore::k_core_lcc;
 use mincut_graph::{CsrGraph, GraphBuilder};
 use rand::rngs::SmallRng;

@@ -1,178 +1,152 @@
 //! Algorithm runners for the experiment binaries: value-only (no witness
 //! tracking) timed executions, matching how the paper measures.
+//!
+//! Solvers are resolved through [`SolverRegistry`] — the bench harness
+//! holds no name → algorithm mapping of its own. A [`BenchSpec`] is just
+//! a registry spelling (possibly queue-pinned, e.g. `NOIλ̂-BStack`) plus
+//! a thread count.
+//!
+//! Measurement note: the session API always tallies priority-queue
+//! operations (a non-atomic thread-local add per push/raise/pop, ~1 ns).
+//! The overhead is uniform across every variant, so the *relative*
+//! rankings the paper's figures compare are unaffected; absolute ns/edge
+//! numbers include it.
 
 use std::time::Instant;
 
-use mincut_core::karger_stein::{karger_stein, KargerSteinConfig};
-use mincut_core::noi::{noi_minimum_cut, NoiConfig};
-use mincut_core::parallel::mincut::{parallel_minimum_cut, ParCutConfig};
-use mincut_core::stoer_wagner::stoer_wagner;
-use mincut_core::viecut::{viecut, VieCutConfig};
-use mincut_core::PqKind;
+use mincut_core::{PqKind, SolveOptions, SolverRegistry};
 use mincut_graph::{CsrGraph, EdgeWeight};
 
-/// The algorithm variants of the paper's evaluation, as benchmarked
-/// (§4.1 "Algorithms"). Unlike `mincut_core::Algorithm`, these run with
-/// witness tracking disabled — the paper times the cut *value* runs.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum BenchAlgo {
-    HoCgkls,
-    NoiCgkls,
-    NoiHnss,
-    NoiBounded(PqKind),
-    NoiHnssVieCut,
-    NoiBoundedVieCut(PqKind),
-    ParCut(PqKind, usize),
-    StoerWagner,
-    KargerStein(usize),
-    VieCut,
+/// One benchmarked configuration: a solver name as registered (§4.1
+/// spelling or alias, queue-pinned forms included) and a thread count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSpec {
+    /// Registry spelling, e.g. `NOIλ̂-BStack-VieCut` or `parcut-bqueue`.
+    pub solver: String,
+    /// Worker threads (only read by the parallel solvers).
+    pub threads: usize,
 }
 
-impl std::fmt::Display for BenchAlgo {
+impl BenchSpec {
+    /// A sequential spec by registry name.
+    pub fn named(solver: impl Into<String>) -> Self {
+        BenchSpec {
+            solver: solver.into(),
+            threads: 1,
+        }
+    }
+
+    /// NOIλ̂ with the given queue.
+    pub fn noi_bounded(pq: PqKind) -> Self {
+        BenchSpec::named(format!("NOIλ̂-{pq}"))
+    }
+
+    /// NOIλ̂-·-VieCut with the given queue.
+    pub fn noi_bounded_viecut(pq: PqKind) -> Self {
+        BenchSpec::named(format!("NOIλ̂-{pq}-VieCut"))
+    }
+
+    /// ParCutλ̂ with the given queue and thread count.
+    pub fn parcut(pq: PqKind, threads: usize) -> Self {
+        BenchSpec {
+            solver: format!("ParCutλ̂-{pq}"),
+            threads,
+        }
+    }
+
+    fn options(&self, seed: u64) -> SolveOptions {
+        SolveOptions::new()
+            .seed(seed)
+            .threads(self.threads)
+            .witness(false)
+    }
+}
+
+impl std::fmt::Display for BenchSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BenchAlgo::HoCgkls => write!(f, "HO-CGKLS"),
-            BenchAlgo::NoiCgkls => write!(f, "NOI-CGKLS"),
-            BenchAlgo::NoiHnss => write!(f, "NOI-HNSS"),
-            BenchAlgo::NoiBounded(pq) => write!(f, "NOIl-{pq}"),
-            BenchAlgo::NoiHnssVieCut => write!(f, "NOI-HNSS-VieCut"),
-            BenchAlgo::NoiBoundedVieCut(pq) => write!(f, "NOIl-{pq}-VieCut"),
-            BenchAlgo::ParCut(pq, p) => write!(f, "ParCutl-{pq}-p{p}"),
-            BenchAlgo::StoerWagner => write!(f, "StoerWagner"),
-            BenchAlgo::KargerStein(r) => write!(f, "KargerStein-r{r}"),
-            BenchAlgo::VieCut => write!(f, "VieCut"),
+        if self.threads > 1 {
+            write!(f, "{}-p{}", self.solver, self.threads)
+        } else {
+            write!(f, "{}", self.solver)
         }
     }
 }
 
 /// The eight sequential variants of Figure 2, in the paper's legend order.
-pub fn fig2_algorithms() -> Vec<BenchAlgo> {
-    vec![
-        BenchAlgo::HoCgkls,
-        BenchAlgo::NoiCgkls,
-        BenchAlgo::NoiBounded(PqKind::BStack),
-        BenchAlgo::NoiBounded(PqKind::BQueue),
-        BenchAlgo::NoiHnss,
-        BenchAlgo::NoiBounded(PqKind::Heap),
-        BenchAlgo::NoiHnssVieCut,
-        BenchAlgo::NoiBoundedVieCut(PqKind::Heap),
+pub fn fig2_algorithms() -> Vec<BenchSpec> {
+    [
+        "HO-CGKLS",
+        "NOI-CGKLS",
+        "NOIλ̂-BStack",
+        "NOIλ̂-BQueue",
+        "NOI-HNSS",
+        "NOIλ̂-Heap",
+        "NOI-HNSS-VieCut",
+        "NOIλ̂-Heap-VieCut",
     ]
+    .into_iter()
+    .map(BenchSpec::named)
+    .collect()
 }
 
-/// Runs one algorithm once; returns (cut value, seconds).
-pub fn run_once(g: &CsrGraph, algo: BenchAlgo, seed: u64) -> (EdgeWeight, f64) {
+/// Runs one configuration once; returns (cut value, seconds).
+pub fn run_once(g: &CsrGraph, spec: &BenchSpec, seed: u64) -> (EdgeWeight, f64) {
+    let solver = SolverRegistry::global()
+        .resolve(&spec.solver)
+        .unwrap_or_else(|e| panic!("bench spec: {e}"));
     let t0 = Instant::now();
-    let value = match algo {
-        BenchAlgo::HoCgkls => mincut_flow::hao_orlin(g).value,
-        // NOI-CGKLS: the paper distinguishes the Chekuri et al.
-        // implementation (heap, no λ̂ bounding, fewer engineering tricks)
-        // from NOI-HNSS. In this reproduction both map to the unbounded-
-        // heap NOI; NOI-CGKLS additionally re-runs from vertex 0 instead of
-        // a random start, mirroring its simpler vertex selection.
-        BenchAlgo::NoiCgkls => noi_minimum_cut(
-            g,
-            &NoiConfig {
-                compute_side: false,
-                seed: 0,
-                ..NoiConfig::hnss()
-            },
-        )
-        .value,
-        BenchAlgo::NoiHnss => noi_minimum_cut(
-            g,
-            &NoiConfig {
-                compute_side: false,
-                seed,
-                ..NoiConfig::hnss()
-            },
-        )
-        .value,
-        BenchAlgo::NoiBounded(pq) => noi_minimum_cut(
-            g,
-            &NoiConfig {
-                compute_side: false,
-                seed,
-                ..NoiConfig::bounded(pq)
-            },
-        )
-        .value,
-        BenchAlgo::NoiHnssVieCut => {
-            let vc = viecut(g, &viecut_cfg(seed));
-            noi_minimum_cut(
-                g,
-                &NoiConfig {
-                    compute_side: false,
-                    seed,
-                    initial_bound: Some((vc.value, None)),
-                    ..NoiConfig::hnss()
-                },
-            )
-            .value
-        }
-        BenchAlgo::NoiBoundedVieCut(pq) => {
-            let vc = viecut(g, &viecut_cfg(seed));
-            noi_minimum_cut(
-                g,
-                &NoiConfig {
-                    compute_side: false,
-                    seed,
-                    initial_bound: Some((vc.value, None)),
-                    ..NoiConfig::bounded(pq)
-                },
-            )
-            .value
-        }
-        BenchAlgo::ParCut(pq, threads) => parallel_minimum_cut(
-            g,
-            &ParCutConfig {
-                pq,
-                threads,
-                use_viecut: true,
-                compute_side: false,
-                seed,
-            },
-        )
-        .value,
-        BenchAlgo::StoerWagner => stoer_wagner(g).value,
-        BenchAlgo::KargerStein(reps) => karger_stein(
-            g,
-            &KargerSteinConfig {
-                repetitions: reps,
-                seed,
-                compute_side: false,
-            },
-        )
-        .value,
-        BenchAlgo::VieCut => viecut(g, &viecut_cfg(seed)).value,
-    };
-    (value, t0.elapsed().as_secs_f64())
+    let outcome = solver
+        .solve(g, &spec.options(seed))
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    (outcome.cut.value, t0.elapsed().as_secs_f64())
 }
 
-fn viecut_cfg(seed: u64) -> VieCutConfig {
-    VieCutConfig {
-        compute_side: false,
-        seed,
-        ..Default::default()
-    }
-}
-
-/// Runs `reps` repetitions; returns (value, average seconds). Panics if
-/// exact algorithms disagree across repetitions (a correctness tripwire
-/// inside the benchmark harness itself).
-pub fn run_avg(g: &CsrGraph, algo: BenchAlgo, reps: usize, seed: u64) -> (EdgeWeight, f64) {
+/// Runs `reps` repetitions; returns (value, average seconds). Panics if a
+/// deterministic-value solver disagrees across repetitions (a correctness
+/// tripwire inside the benchmark harness itself).
+pub fn run_avg(g: &CsrGraph, spec: &BenchSpec, reps: usize, seed: u64) -> (EdgeWeight, f64) {
+    let deterministic = !SolverRegistry::global()
+        .resolve(&spec.solver)
+        .unwrap_or_else(|e| panic!("bench spec: {e}"))
+        .capabilities()
+        .randomized_value;
     let mut total = 0.0;
     let mut value = None;
     for i in 0..reps.max(1) {
-        let (v, secs) = run_once(g, algo, seed.wrapping_add(i as u64));
+        let (v, secs) = run_once(g, spec, seed.wrapping_add(i as u64));
         total += secs;
         match value {
             None => value = Some(v),
             Some(prev) => {
-                if !matches!(algo, BenchAlgo::KargerStein(_) | BenchAlgo::VieCut) {
-                    assert_eq!(prev, v, "{algo} returned different values across runs");
+                if deterministic {
+                    assert_eq!(prev, v, "{spec} returned different values across runs");
                 }
             }
         }
     }
     (value.unwrap(), total / reps.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+
+    #[test]
+    fn fig2_specs_all_resolve_and_agree() {
+        let (g, l) = known::two_communities(8, 8, 2, 2, 1);
+        for spec in fig2_algorithms() {
+            let (v, _) = run_avg(&g, &spec, 2, 11);
+            assert_eq!(v, l, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parcut_spec_matches_sequential() {
+        let (g, l) = known::ring_of_cliques(5, 5, 2, 1);
+        for pq in PqKind::ALL {
+            let (v, _) = run_once(&g, &BenchSpec::parcut(pq, 2), 5);
+            assert_eq!(v, l);
+        }
+    }
 }

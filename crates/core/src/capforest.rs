@@ -108,7 +108,11 @@ pub fn capforest<P: MaxPq>(
                 unions += 1;
             }
             r[y as usize] = ry + w;
-            let prio = if bounded { (ry + w).min(lambda) } else { ry + w };
+            let prio = if bounded {
+                (ry + w).min(lambda)
+            } else {
+                ry + w
+            };
             if q.contains(y) {
                 // λ̂ may have dropped below the priority stored earlier in
                 // the pass; keys are kept monotone (never lowered), which

@@ -1,0 +1,55 @@
+//! Structured errors for the solver front door.
+//!
+//! The seed code `assert!`ed its way out of malformed inputs; the session
+//! API reports them as values so callers (the CLI, the bench harness,
+//! services embedding the library) can react without catching panics.
+
+use std::time::Duration;
+
+/// Everything that can go wrong when resolving or running a solver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MinCutError {
+    /// A cut needs two sides: graphs with fewer than two vertices have no
+    /// cuts at all.
+    TooFewVertices { n: usize },
+    /// The requested name matches no registered solver.
+    UnknownSolver {
+        name: String,
+        /// Canonical names of every registered solver, for the error
+        /// message and for CLI suggestions.
+        known: Vec<String>,
+    },
+    /// The [`SolveOptions`](crate::SolveOptions) carry a value a solver
+    /// cannot work with (for example ε ≤ 0 for Matula).
+    InvalidOptions { message: String },
+    /// The optional time budget ran out before the solver finished.
+    TimeBudgetExceeded { budget: Duration },
+}
+
+impl std::fmt::Display for MinCutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinCutError::TooFewVertices { n } => {
+                write!(f, "minimum cut needs at least two vertices, got {n}")
+            }
+            MinCutError::UnknownSolver { name, known } => {
+                write!(
+                    f,
+                    "unknown solver {name:?}; registered: {}",
+                    known.join(", ")
+                )
+            }
+            MinCutError::InvalidOptions { message } => {
+                write!(f, "invalid solve options: {message}")
+            }
+            MinCutError::TimeBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "time budget of {budget:?} exhausted before the solver finished"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MinCutError {}

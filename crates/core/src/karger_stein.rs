@@ -13,7 +13,9 @@ use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::MinCutError;
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
 /// Configuration for [`karger_stein`].
@@ -41,26 +43,57 @@ impl Default for KargerSteinConfig {
 /// actual cut (an upper bound on λ); it equals λ with high probability for
 /// sufficient repetitions. Requires n ≥ 2; handles disconnected inputs.
 pub fn karger_stein(g: &CsrGraph, cfg: &KargerSteinConfig) -> MinCutResult {
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    karger_stein_instrumented(g, cfg, &mut ctx)
+        .expect("Karger-Stein without a time budget cannot fail")
+}
+
+/// [`karger_stein`] recording the best-value trajectory per repetition
+/// into the [`SolveContext`] and honoring its time budget between
+/// repetitions.
+pub fn karger_stein_instrumented(
+    g: &CsrGraph,
+    cfg: &KargerSteinConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
+        ctx.stats.record_lambda(0);
         let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
-        return MinCutResult {
+        return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
-        };
+        });
     }
+    karger_stein_connected(g, cfg, ctx)
+}
+
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both), skipping the redundant
+/// component scan.
+pub(crate) fn karger_stein_connected(
+    g: &CsrGraph,
+    cfg: &KargerSteinConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut best = EdgeWeight::MAX;
     let mut best_side: Option<Vec<bool>> = None;
     for _ in 0..cfg.repetitions.max(1) {
+        ctx.check_budget()?;
+        ctx.stats.rounds += 1;
         let membership = Membership::identity(g.n());
         recursive(g.clone(), membership, &mut rng, &mut best, &mut best_side);
+        ctx.stats.record_lambda(best);
     }
-    MinCutResult {
+    Ok(MinCutResult {
         value: best,
-        side: cfg.compute_side.then(|| best_side.expect("at least one cut examined")),
-    }
+        side: cfg
+            .compute_side
+            .then(|| best_side.expect("at least one cut examined")),
+    })
 }
 
 fn recursive(
@@ -195,7 +228,10 @@ mod tests {
                 compute_side: true,
             },
         );
-        assert!(r.value >= lambda, "Monte Carlo may overshoot, never undershoot");
+        assert!(
+            r.value >= lambda,
+            "Monte Carlo may overshoot, never undershoot"
+        );
         assert_eq!(g.cut_value(&r.side.unwrap()), r.value);
     }
 

@@ -15,35 +15,86 @@
 //! | Karger–Stein | [`karger_stein`] |
 //! | Matula (2+ε)-approximation (§5 future work) | [`matula`] |
 //!
-//! The flow-based comparator (Hao–Orlin, HO-CGKLS) lives in the companion
-//! crate `mincut-flow` and is re-exported through the unified front door
-//! [`minimum_cut`].
+//! The flow-based comparators (Hao–Orlin/HO-CGKLS, Gomory–Hu) live in
+//! the companion crate `mincut-flow` and are registered here alongside
+//! the native solvers.
 //!
-//! ## Quick start
+//! ## The solver session API
+//!
+//! Every algorithm sits behind the object-safe [`Solver`] trait and is
+//! registered by name in the [`SolverRegistry`] — the single source of
+//! algorithm names for the CLI, the bench harness and the test matrix.
+//! A [`Session`] resolves solvers by their paper names (§4.1) or CLI
+//! spellings and returns a [`SolveOutcome`]: the cut plus a
+//! [`SolverStats`] telemetry report (λ̂ trajectory, contraction counts,
+//! priority-queue operation totals, phase timings).
+//!
+//! ```
+//! use mincut_core::{Session, SolveOptions};
+//! use mincut_graph::CsrGraph;
+//!
+//! // A square with one heavy diagonal.
+//! let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]);
+//!
+//! // The paper's fastest sequential configuration, by CLI spelling...
+//! let outcome = Session::new(&g).run("noi-viecut").unwrap();
+//! assert_eq!(outcome.cut.value, 2);
+//! assert!(outcome.cut.verify(&g));
+//! // ...with a full telemetry report.
+//! assert_eq!(*outcome.stats.lambda_trajectory.last().unwrap(), 2);
+//!
+//! // Queue-pinned paper spellings resolve too, and options sweep
+//! // uniformly across every solver.
+//! let opts = SolveOptions::new().seed(7).witness(false);
+//! let bstack = Session::new(&g).options(opts).run("NOIλ̂-BStack").unwrap();
+//! assert_eq!(bstack.cut.value, 2);
+//! assert!(bstack.cut.side.is_none());
+//! ```
+//!
+//! Malformed inputs are values, not panics:
+//!
+//! ```
+//! use mincut_core::{MinCutError, Session};
+//! use mincut_graph::CsrGraph;
+//!
+//! let singleton = CsrGraph::from_edges(1, &[]);
+//! let err = Session::new(&singleton).run("noi").unwrap_err();
+//! assert_eq!(err, MinCutError::TooFewVertices { n: 1 });
+//! ```
+//!
+//! The enum-based front door of earlier versions remains as a thin shim:
 //!
 //! ```
 //! use mincut_core::{minimum_cut, Algorithm};
 //! use mincut_graph::CsrGraph;
 //!
-//! // A square with one heavy diagonal.
 //! let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]);
 //! let result = minimum_cut(&g, Algorithm::default());
 //! assert_eq!(result.value, 2);
-//! let side = result.side.unwrap();
-//! assert_eq!(g.cut_value(&side), 2);
+//! assert!(result.verify(&g));
 //! ```
 
 pub mod capforest;
+mod error;
 pub mod karger_stein;
 pub mod matula;
 pub mod noi;
+mod options;
 pub mod parallel;
 mod partition;
+mod registry;
+mod solver;
+mod stats;
 pub mod stoer_wagner;
 pub mod viecut;
 
+pub use error::MinCutError;
 pub use mincut_ds::PqKind;
+pub use options::SolveOptions;
 pub use partition::Membership;
+pub use registry::{SolverEntry, SolverRegistry};
+pub use solver::{Capabilities, Guarantee, Session, SolveOutcome, Solver};
+pub use stats::{PhaseTiming, SolveContext, SolverStats};
 
 use mincut_graph::{CsrGraph, EdgeWeight};
 
@@ -56,7 +107,7 @@ pub struct MinCutResult {
     /// the respective quality guarantee.
     pub value: EdgeWeight,
     /// `side[v] == true` for the vertices on one side of the cut, if
-    /// witness tracking was enabled (it is, through this front door).
+    /// witness tracking was enabled (it is, through the default options).
     pub side: Option<Vec<bool>>,
 }
 
@@ -72,6 +123,10 @@ impl MinCutResult {
 
 /// Algorithm selector for [`minimum_cut`], named after the variants in the
 /// paper's evaluation (§4.1).
+///
+/// Kept as a back-compat shim: each variant maps onto a registered
+/// solver family plus [`SolveOptions`]; new code should resolve solvers
+/// by name through [`SolverRegistry`] or [`Session`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Algorithm {
     /// NOI with an unbounded binary heap — the implementation of
@@ -110,6 +165,31 @@ impl Default for Algorithm {
     }
 }
 
+impl Algorithm {
+    /// The registry family this variant maps to, plus the options patch
+    /// it implies.
+    fn to_solver(&self, seed: u64) -> (&'static str, SolveOptions) {
+        let opts = SolveOptions::new().seed(seed);
+        match self {
+            Algorithm::NoiHnss => ("NOI-HNSS", opts),
+            Algorithm::NoiHnssVieCut => ("NOI-HNSS-VieCut", opts),
+            Algorithm::NoiBounded { pq } => ("NOIλ̂", opts.pq(*pq)),
+            Algorithm::NoiBoundedVieCut { pq } => ("NOIλ̂-VieCut", opts.pq(*pq)),
+            Algorithm::ParCut { pq, threads } => ("ParCutλ̂", opts.pq(*pq).threads(*threads)),
+            Algorithm::StoerWagner => ("StoerWagner", opts),
+            Algorithm::HaoOrlin => ("HO-CGKLS", opts),
+            Algorithm::GomoryHu => ("GomoryHu", opts),
+            Algorithm::KargerStein { repetitions } => {
+                // The seed API clamped zero to one repetition; keep that
+                // instead of tripping SolveOptions validation.
+                ("KargerStein", opts.repetitions((*repetitions).max(1)))
+            }
+            Algorithm::Matula { epsilon } => ("Matula", opts.epsilon(*epsilon)),
+            Algorithm::VieCut => ("VieCut", opts),
+        }
+    }
+}
+
 impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -129,7 +209,8 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Computes a minimum cut of `g` with the chosen algorithm and a default
-/// seed. Panics if `g` has fewer than two vertices. Disconnected graphs
+/// seed. Panics if `g` has fewer than two vertices (use [`Session`] /
+/// [`Solver::solve`] for error values instead). Disconnected graphs
 /// yield value 0 with a component witness.
 pub fn minimum_cut(g: &CsrGraph, algorithm: Algorithm) -> MinCutResult {
     minimum_cut_seeded(g, algorithm, 0xC0FFEE)
@@ -138,104 +219,14 @@ pub fn minimum_cut(g: &CsrGraph, algorithm: Algorithm) -> MinCutResult {
 /// [`minimum_cut`] with an explicit seed for the randomised components
 /// (start vertices, label propagation orders, Karger–Stein contractions).
 pub fn minimum_cut_seeded(g: &CsrGraph, algorithm: Algorithm, seed: u64) -> MinCutResult {
-    assert!(g.n() >= 2, "minimum cut needs at least two vertices");
-    match algorithm {
-        Algorithm::NoiHnss => noi::noi_minimum_cut(
-            g,
-            &noi::NoiConfig {
-                seed,
-                ..noi::NoiConfig::hnss()
-            },
-        ),
-        Algorithm::NoiHnssVieCut => {
-            let bound = viecut_bound(g, seed);
-            noi::noi_minimum_cut(
-                g,
-                &noi::NoiConfig {
-                    seed,
-                    initial_bound: Some(bound),
-                    ..noi::NoiConfig::hnss()
-                },
-            )
-        }
-        Algorithm::NoiBounded { pq } => noi::noi_minimum_cut(
-            g,
-            &noi::NoiConfig {
-                seed,
-                ..noi::NoiConfig::bounded(pq)
-            },
-        ),
-        Algorithm::NoiBoundedVieCut { pq } => {
-            let bound = viecut_bound(g, seed);
-            noi::noi_minimum_cut(
-                g,
-                &noi::NoiConfig {
-                    seed,
-                    initial_bound: Some(bound),
-                    ..noi::NoiConfig::bounded(pq)
-                },
-            )
-        }
-        Algorithm::ParCut { pq, threads } => parallel::mincut::parallel_minimum_cut(
-            g,
-            &parallel::mincut::ParCutConfig {
-                pq,
-                threads,
-                seed,
-                ..Default::default()
-            },
-        ),
-        Algorithm::StoerWagner => stoer_wagner::stoer_wagner(g),
-        Algorithm::HaoOrlin => {
-            let r = mincut_flow::hao_orlin(g);
-            MinCutResult {
-                value: r.value,
-                side: Some(r.side),
-            }
-        }
-        Algorithm::GomoryHu => {
-            let tree = mincut_flow::GomoryHuTree::build(g);
-            let (value, side) = tree.global_min_cut();
-            MinCutResult {
-                value,
-                side: Some(side.to_vec()),
-            }
-        }
-        Algorithm::KargerStein { repetitions } => karger_stein::karger_stein(
-            g,
-            &karger_stein::KargerSteinConfig {
-                repetitions,
-                seed,
-                compute_side: true,
-            },
-        ),
-        Algorithm::Matula { epsilon } => matula::matula_approx(
-            g,
-            &matula::MatulaConfig {
-                epsilon,
-                seed,
-                ..Default::default()
-            },
-        ),
-        Algorithm::VieCut => viecut::viecut(
-            g,
-            &viecut::VieCutConfig {
-                seed,
-                ..Default::default()
-            },
-        ),
-    }
-}
-
-fn viecut_bound(g: &CsrGraph, seed: u64) -> (EdgeWeight, Option<Vec<bool>>) {
-    let vc = viecut::viecut(
-        g,
-        &viecut::VieCutConfig {
-            seed,
-            ..Default::default()
-        },
-    );
-    (vc.value, vc.side)
+    let (family, opts) = algorithm.to_solver(seed);
+    let solver = SolverRegistry::global()
+        .resolve(family)
+        .expect("every Algorithm variant is registered");
+    solver
+        .solve(g, &opts)
+        .unwrap_or_else(|e| panic!("minimum cut failed: {e}"))
+        .cut
 }
 
 #[cfg(test)]
@@ -243,41 +234,75 @@ mod tests {
     use super::*;
     use mincut_graph::generators::known;
 
-    fn exact_algorithms() -> Vec<Algorithm> {
-        let mut v = vec![
-            Algorithm::NoiHnss,
-            Algorithm::NoiHnssVieCut,
-            Algorithm::StoerWagner,
-            Algorithm::HaoOrlin,
-        ];
-        for pq in PqKind::ALL {
-            v.push(Algorithm::NoiBounded { pq });
-            v.push(Algorithm::NoiBoundedVieCut { pq });
-            v.push(Algorithm::ParCut { pq, threads: 2 });
-        }
-        v
+    /// Every (family × queue) instance of the registry, the replacement
+    /// for the hand-listed `exact_algorithms()` vector.
+    fn registry_instances() -> Vec<(String, Box<dyn Solver>, SolveOptions)> {
+        SolverRegistry::global()
+            .instances()
+            .into_iter()
+            .map(|solver| {
+                let opts = SolveOptions::new().seed(0xC0FFEE).threads(2);
+                let name = solver.instance_name(&opts);
+                (name, solver, opts)
+            })
+            .collect()
     }
 
     #[test]
-    fn all_exact_algorithms_agree_on_known_family() {
+    fn all_exact_solvers_agree_on_known_family() {
         let (g, l) = known::two_communities(9, 7, 2, 3, 1);
-        for algo in exact_algorithms() {
-            let name = algo.to_string();
-            let r = minimum_cut(&g, algo);
-            assert_eq!(r.value, l, "{name}");
-            assert!(r.verify(&g), "{name} witness");
+        for (name, solver, opts) in registry_instances() {
+            if !solver.capabilities().guarantee.is_exact() {
+                continue;
+            }
+            let out = solver
+                .solve(&g, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out.cut.value, l, "{name}");
+            assert!(out.cut.verify(&g), "{name} witness");
         }
     }
 
     #[test]
-    fn inexact_algorithms_respect_their_guarantees() {
+    fn inexact_solvers_respect_their_guarantees() {
         let (g, l) = known::ring_of_cliques(6, 6, 2, 1);
-        let vc = minimum_cut(&g, Algorithm::VieCut);
-        assert!(vc.value >= l && vc.verify(&g));
-        let ks = minimum_cut(&g, Algorithm::KargerStein { repetitions: 10 });
-        assert!(ks.value >= l && ks.verify(&g));
-        let ma = minimum_cut(&g, Algorithm::Matula { epsilon: 0.5 });
-        assert!(ma.value >= l && ma.value <= (2 * l) + l / 2 && ma.verify(&g));
+        for (name, solver, opts) in registry_instances() {
+            let guarantee = solver.capabilities().guarantee;
+            if guarantee.is_exact() {
+                continue;
+            }
+            let out = solver
+                .solve(&g, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(out.cut.value >= l, "{name} went below λ");
+            assert!(out.cut.verify(&g), "{name} must report an actual cut");
+            if guarantee == Guarantee::TwoPlusEpsilon {
+                let bound = ((2.0 + opts.epsilon) * l as f64).floor() as EdgeWeight;
+                assert!(out.cut.value <= bound, "(2+ε) violated by {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reports_are_populated() {
+        let (g, l) = known::two_communities(12, 12, 2, 2, 1);
+        let out = Session::new(&g).run("NOIλ̂-BQueue-VieCut").unwrap();
+        assert_eq!(out.cut.value, l);
+        let s = &out.stats;
+        assert_eq!(s.algorithm, "NOIλ̂-BQueue-VieCut");
+        assert_eq!((s.n, s.m), (g.n(), g.m()));
+        assert_eq!(*s.lambda_trajectory.last().unwrap(), l);
+        assert!(s.pq_ops.total() > 0, "counting queues must tally ops");
+        assert!(s.phases.iter().any(|p| p.name == "viecut"));
+        assert!(s.phases.iter().any(|p| p.name == "noi"));
+        assert!(s.total_seconds >= 0.0);
+
+        let par = Session::new(&g).run("parcut").unwrap();
+        assert_eq!(par.cut.value, l);
+        assert!(
+            par.stats.pq_ops.total() > 0,
+            "worker PQ ops must be harvested"
+        );
     }
 
     #[test]
@@ -289,6 +314,59 @@ mod tests {
         );
         assert_eq!(Algorithm::default().to_string(), "NOIλ̂-Heap-VieCut");
         assert_eq!(Algorithm::HaoOrlin.to_string(), "HO-CGKLS");
+        // The shim resolves every display name's family through the
+        // registry under the same spelling conventions.
+        for algo in [
+            Algorithm::NoiHnss,
+            Algorithm::default(),
+            Algorithm::ParCut {
+                pq: PqKind::BQueue,
+                threads: 2,
+            },
+        ] {
+            let (family, _) = algo.to_solver(1);
+            assert!(SolverRegistry::global().entry(family).is_some());
+        }
+    }
+
+    #[test]
+    fn too_few_vertices_is_an_error_not_a_panic() {
+        for n in [0, 1] {
+            let g = CsrGraph::from_edges(n, &[]);
+            for entry in SolverRegistry::global().entries() {
+                let err = entry
+                    .instantiate(None)
+                    .solve(&g, &SolveOptions::new())
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    MinCutError::TooFewVertices { n },
+                    "{}",
+                    entry.canonical
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_are_zero_with_witness_for_every_solver() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (3, 4, 2), (4, 5, 2)]);
+        for entry in SolverRegistry::global().entries() {
+            let out = entry
+                .instantiate(None)
+                .solve(&g, &SolveOptions::new())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.canonical));
+            assert_eq!(out.cut.value, 0, "{}", entry.canonical);
+            assert!(out.cut.verify(&g), "{} witness", entry.canonical);
+        }
+    }
+
+    #[test]
+    fn time_budget_zero_fails_fast_on_iterative_solvers() {
+        let (g, _) = known::grid_graph(12, 12, 1);
+        let opts = SolveOptions::new().time_budget(std::time::Duration::ZERO);
+        let err = Session::new(&g).options(opts).run("noi").unwrap_err();
+        assert!(matches!(err, MinCutError::TimeBudgetExceeded { .. }));
     }
 
     #[test]

@@ -15,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::capforest;
+use crate::error::MinCutError;
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::MinCutResult;
 
@@ -46,16 +48,40 @@ impl Default for MatulaConfig {
 /// is always an actual cut of `g` with value ≤ (2+ε)·λ(G).
 /// Requires n ≥ 2; handles disconnected inputs.
 pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    matula_approx_instrumented(g, cfg, &mut ctx).expect("Matula without a time budget cannot fail")
+}
+
+/// [`matula_approx`] recording per-pass telemetry into the
+/// [`SolveContext`] and honoring its time budget between passes.
+pub fn matula_approx_instrumented(
+    g: &CsrGraph,
+    cfg: &MatulaConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
-    assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
+        ctx.stats.record_lambda(0);
         let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
-        return MinCutResult {
+        return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
-        };
+        });
     }
+    matula_approx_connected(g, cfg, ctx)
+}
+
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both), skipping the redundant
+/// component scan.
+pub(crate) fn matula_approx_connected(
+    g: &CsrGraph,
+    cfg: &MatulaConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
+    assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
@@ -63,10 +89,12 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
     let mut best_side: Option<Vec<bool>> = None;
 
     while current.n() >= 2 {
+        ctx.check_budget()?;
         // The trivial cut of the current graph is the approximation anchor.
         let (dv, delta) = current.min_weighted_degree().expect("n >= 2");
         if delta < best {
             best = delta;
+            ctx.stats.record_lambda(best);
             if cfg.compute_side {
                 best_side = Some(membership.side_of_vertices(&[dv]));
             }
@@ -74,6 +102,7 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
         if current.n() == 2 {
             break;
         }
+        ctx.stats.rounds += 1;
         // Scaled threshold: contract everything certified ≥ δ/(2+ε).
         // Integer connectivities mean `q(e) ≥ δ/(2+ε)` is equivalent to
         // `q(e) ≥ ⌈δ/(2+ε)⌉`; rounding *down* here would contract edges
@@ -83,7 +112,7 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
         let sigma = ((delta as f64) / (2.0 + cfg.epsilon)).ceil() as EdgeWeight;
         let sigma = sigma.max(1);
         let start = rng.gen_range(0..current.n() as NodeId);
-        let out = capforest::<BinaryHeapPq>(&current, sigma, start, true);
+        let out = capforest::<mincut_ds::CountingPq<BinaryHeapPq>>(&current, sigma, start, true);
         // Prefix cuts seen by the scan are real cuts; they can only help.
         // (out.lambda_hat below σ without a witness never happens, but
         // out.lambda_hat == σ < best is NOT an improvement — σ is a
@@ -91,6 +120,7 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
         if let Some(prefix) = out.best_prefix() {
             if out.lambda_hat < best {
                 best = out.lambda_hat;
+                ctx.stats.record_lambda(best);
                 if cfg.compute_side {
                     best_side = Some(membership.side_of_vertices(prefix));
                 }
@@ -101,9 +131,11 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
             // Degenerate weighted corner (σ can sit below every crossing
             // point): a Stoer–Wagner phase guarantees progress and its
             // phase cut keeps the approximation anchored.
+            ctx.stats.sw_rescues += 1;
             let phase = stoer_wagner_phase(&current, start);
             if phase.cut_of_phase < best {
                 best = phase.cut_of_phase;
+                ctx.stats.record_lambda(best);
                 if cfg.compute_side {
                     best_side = Some(membership.side_of_vertices(&[phase.t]));
                 }
@@ -111,14 +143,15 @@ pub fn matula_approx(g: &CsrGraph, cfg: &MatulaConfig) -> MinCutResult {
             uf.union(phase.s, phase.t);
         }
         let (labels, blocks) = uf.dense_labels();
+        ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
         current = contract::contract(&current, &labels, blocks);
         membership.contract(&labels, blocks);
     }
 
-    MinCutResult {
+    Ok(MinCutResult {
         value: best,
         side: best_side,
-    }
+    })
 }
 
 #[cfg(test)]

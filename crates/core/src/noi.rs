@@ -13,13 +13,15 @@
 //!   instead of the minimum-degree bound (§3.1.1), which unlocks far more
 //!   contractions per pass.
 
-use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, PqKind};
+use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
 use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::{capforest, CapforestOutcome};
+use crate::error::MinCutError;
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::MinCutResult;
 
@@ -80,15 +82,40 @@ impl NoiConfig {
 
 /// Exact minimum cut via NOI. Requires n ≥ 2; handles disconnected inputs.
 pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    noi_minimum_cut_instrumented(g, cfg, &mut ctx).expect("NOI without a time budget cannot fail")
+}
+
+/// [`noi_minimum_cut`] feeding per-round telemetry (λ̂ trajectory,
+/// contraction counts, rescue phases) into the [`SolveContext`] and
+/// honoring its optional time budget between rounds.
+pub fn noi_minimum_cut_instrumented(
+    g: &CsrGraph,
+    cfg: &NoiConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
+        ctx.stats.record_lambda(0);
         let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
-        return MinCutResult {
+        return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
-        };
+        });
     }
+    noi_minimum_cut_connected(g, cfg, ctx)
+}
+
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both), skipping the redundant
+/// component scan.
+pub(crate) fn noi_minimum_cut_connected(
+    g: &CsrGraph,
+    cfg: &NoiConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Initial bound: minimum weighted degree (the trivial cut), possibly
@@ -104,30 +131,37 @@ pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
         if let Some(s) = bside {
             // The contract on `initial_bound`: the value must be the value
             // of an actual cut, or correctness is lost.
-            debug_assert_eq!(g.cut_value(s), *b, "initial bound witness must match its value");
+            debug_assert_eq!(
+                g.cut_value(s),
+                *b,
+                "initial bound witness must match its value"
+            );
         }
         if *b < lambda {
             lambda = *b;
             if cfg.compute_side {
-                best_side = Some(
-                    bside
-                        .clone()
-                        .unwrap_or_else(|| panic!("initial bound without witness while compute_side is on")),
-                );
+                best_side = Some(bside.clone().unwrap_or_else(|| {
+                    panic!("initial bound without witness while compute_side is on")
+                }));
             }
         }
     }
+
+    ctx.stats.record_lambda(lambda);
 
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
 
     while current.n() > 2 {
+        ctx.check_budget()?;
+        ctx.stats.rounds += 1;
         let start = rng.gen_range(0..current.n() as NodeId);
         let out = run_pass(&current, lambda, start, cfg);
 
         // Prefix cuts found by the scan.
         if out.lambda_hat < lambda {
             lambda = out.lambda_hat;
+            ctx.stats.record_lambda(lambda);
             if cfg.compute_side {
                 let prefix = out.best_prefix().expect("improvement implies witness");
                 best_side = Some(membership.side_of_vertices(prefix));
@@ -141,9 +175,11 @@ pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
             // contractible edge"). One Stoer–Wagner phase restores the
             // guarantee: its cut-of-phase is recorded and its last pair is
             // always safely contractible.
+            ctx.stats.sw_rescues += 1;
             let phase = stoer_wagner_phase(&current, start);
             if phase.cut_of_phase < lambda {
                 lambda = phase.cut_of_phase;
+                ctx.stats.record_lambda(lambda);
                 if cfg.compute_side {
                     best_side = Some(membership.side_of_vertices(&[phase.t]));
                 }
@@ -153,6 +189,7 @@ pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
 
         let (labels, blocks) = uf.dense_labels();
         debug_assert!(blocks < current.n(), "every round must make progress");
+        ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
         current = contract::contract(&current, &labels, blocks);
         membership.contract(&labels, blocks);
 
@@ -162,6 +199,7 @@ pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
         if let Some((v, d)) = current.min_weighted_degree() {
             if current.n() >= 2 && d < lambda {
                 lambda = d;
+                ctx.stats.record_lambda(lambda);
                 if cfg.compute_side {
                     best_side = Some(membership.side_of_vertices(&[v]));
                 }
@@ -171,27 +209,29 @@ pub fn noi_minimum_cut(g: &CsrGraph, cfg: &NoiConfig) -> MinCutResult {
 
     // Two vertices left: the remaining cut is both vertices' degree cut,
     // already covered by the min-degree update above.
-    MinCutResult {
+    Ok(MinCutResult {
         value: lambda,
         side: best_side,
-    }
+    })
 }
 
+// Scans run through [`CountingPq`] so every pass feeds the thread-local
+// PQ-operation counters the session API harvests into `SolverStats`.
 fn run_pass(g: &CsrGraph, lambda: EdgeWeight, start: NodeId, cfg: &NoiConfig) -> CapforestOutcome {
     if !cfg.bounded {
         // Unbounded priorities require the heap.
-        return capforest::<BinaryHeapPq>(g, lambda, start, false);
+        return capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, false);
     }
     match cfg.pq {
-        PqKind::Heap => capforest::<BinaryHeapPq>(g, lambda, start, true),
+        PqKind::Heap => capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, true),
         PqKind::BStack if lambda <= MAX_BUCKET_BOUND => {
-            capforest::<BStackPq>(g, lambda, start, true)
+            capforest::<CountingPq<BStackPq>>(g, lambda, start, true)
         }
         PqKind::BQueue if lambda <= MAX_BUCKET_BOUND => {
-            capforest::<BQueuePq>(g, lambda, start, true)
+            capforest::<CountingPq<BQueuePq>>(g, lambda, start, true)
         }
         // Bound too large for bucket arrays: use the heap for this pass.
-        _ => capforest::<BinaryHeapPq>(g, lambda, start, true),
+        _ => capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, true),
     }
 }
 

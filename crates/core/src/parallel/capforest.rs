@@ -25,7 +25,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use mincut_ds::{ConcurrentUnionFind, MaxPq};
+use mincut_ds::{take_counters, ConcurrentUnionFind, MaxPq, PqCounters};
 use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +40,9 @@ pub struct ParCapforestOutcome {
     /// Witness for `lambda_hat` if some worker improved it: the region
     /// prefix (vertices of the current graph) achieving the bound.
     pub best_prefix: Option<Vec<NodeId>>,
+    /// Priority-queue operation totals summed over all workers (non-zero
+    /// when `P` counts, i.e. when run through a `CountingPq`).
+    pub pq_ops: PqCounters,
 }
 
 /// Atomically lowers `shared` to `value`; returns true if this call moved it.
@@ -75,36 +78,47 @@ pub fn parallel_capforest<P: MaxPq + Send>(
     // not be scanned by any process".
     let cursor = AtomicUsize::new(0);
 
-    // Each worker returns (best_alpha, witness_region_prefix).
-    let worker_best: Vec<(EdgeWeight, Option<Vec<NodeId>>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let visited = &visited;
-                let cuf = &cuf;
-                let lambda = &lambda;
-                let claimed = &claimed;
-                let cursor = &cursor;
-                scope.spawn(move || {
-                    worker::<P>(
-                        g,
-                        lambda_hat,
-                        seed.wrapping_add(tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        visited,
-                        cuf,
-                        lambda,
-                        claimed,
-                        cursor,
-                    )
+    // Each worker returns (best_alpha, witness_region_prefix, pq_ops).
+    let worker_best: Vec<(EdgeWeight, Option<Vec<NodeId>>, PqCounters)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let visited = &visited;
+                    let cuf = &cuf;
+                    let lambda = &lambda;
+                    let claimed = &claimed;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        worker::<P>(
+                            g,
+                            lambda_hat,
+                            seed.wrapping_add(tid as u64)
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                            visited,
+                            cuf,
+                            lambda,
+                            claimed,
+                            cursor,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
     let final_lambda = lambda.load(Ordering::Acquire);
+    let mut pq_ops = PqCounters::default();
+    for (_, _, c) in &worker_best {
+        pq_ops.pushes += c.pushes;
+        pq_ops.raises += c.raises;
+        pq_ops.pops += c.pops;
+    }
     let mut best_prefix = None;
     if final_lambda < lambda_hat {
-        for (alpha, prefix) in worker_best {
+        for (alpha, prefix, _) in worker_best {
             if alpha == final_lambda {
                 best_prefix = prefix;
                 break;
@@ -119,6 +133,7 @@ pub fn parallel_capforest<P: MaxPq + Send>(
         cuf,
         lambda_hat: final_lambda,
         best_prefix,
+        pq_ops,
     }
 }
 
@@ -142,7 +157,7 @@ fn worker<P: MaxPq>(
     lambda: &AtomicU64,
     claimed: &AtomicUsize,
     cursor: &AtomicUsize,
-) -> (EdgeWeight, Option<Vec<NodeId>>) {
+) -> (EdgeWeight, Option<Vec<NodeId>>, PqCounters) {
     let n = g.n();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut r = vec![0 as EdgeWeight; n];
@@ -244,7 +259,9 @@ fn worker<P: MaxPq>(
     }
 
     let witness = (best_alpha != EdgeWeight::MAX).then(|| region[..best_len].to_vec());
-    (best_alpha, witness)
+    // Each worker thread owns fresh thread-local PQ counters; harvesting
+    // them here lets the driver report totals across the round.
+    (best_alpha, witness, take_counters())
 }
 
 #[cfg(test)]

@@ -17,17 +17,19 @@
 //! even that marks nothing (possible with a bounded queue), one
 //! Stoer–Wagner phase, which always makes progress.
 
-use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, PqKind};
+use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
 use mincut_graph::contract::contract_parallel;
 use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::capforest;
+use crate::error::MinCutError;
 use crate::parallel::capforest::{parallel_capforest, ParCapforestOutcome};
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
-use crate::viecut::{viecut, VieCutConfig};
+use crate::viecut::{viecut_connected, VieCutConfig};
 use crate::MinCutResult;
 
 /// Configuration for [`parallel_minimum_cut`].
@@ -63,16 +65,42 @@ impl Default for ParCutConfig {
 /// Exact minimum cut, shared-memory parallel (Algorithm 2).
 /// Requires n ≥ 2; handles disconnected inputs.
 pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    parallel_minimum_cut_instrumented(g, cfg, &mut ctx)
+        .expect("ParCut without a time budget cannot fail")
+}
+
+/// [`parallel_minimum_cut`] feeding per-round telemetry (λ̂ trajectory,
+/// contraction counts, rescue phases, worker PQ-operation totals) into
+/// the [`SolveContext`] and honoring its time budget between rounds.
+pub fn parallel_minimum_cut_instrumented(
+    g: &CsrGraph,
+    cfg: &ParCutConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
-    assert!(cfg.threads >= 1);
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
+        ctx.stats.record_lambda(0);
         let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
-        return MinCutResult {
+        return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
-        };
+        });
     }
+    parallel_minimum_cut_connected(g, cfg, ctx)
+}
+
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both), skipping the redundant
+/// component scan.
+pub(crate) fn parallel_minimum_cut_connected(
+    g: &CsrGraph,
+    cfg: &ParCutConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
+    assert!(cfg.threads >= 1);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Initial bound: trivial degree cut, then VieCut (§3.1.1).
@@ -84,14 +112,22 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
         s
     });
     if cfg.use_viecut {
-        let vc = viecut(
-            g,
-            &VieCutConfig {
-                compute_side: cfg.compute_side,
-                seed: cfg.seed,
-                ..VieCutConfig::default()
-            },
-        );
+        let vc = ctx.stats.time_phase("viecut", |stats| {
+            let mut inner = SolveContext {
+                stats,
+                deadline: ctx.deadline,
+                budget: ctx.budget,
+            };
+            viecut_connected(
+                g,
+                &VieCutConfig {
+                    compute_side: cfg.compute_side,
+                    seed: cfg.seed,
+                    ..VieCutConfig::default()
+                },
+                &mut inner,
+            )
+        })?;
         if vc.value < lambda {
             lambda = vc.value;
             if cfg.compute_side {
@@ -99,14 +135,19 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
             }
         }
     }
+    ctx.stats.record_lambda(lambda);
 
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
 
     while current.n() > 2 {
+        ctx.check_budget()?;
+        ctx.stats.rounds += 1;
         let out = run_parallel_pass(&current, lambda, cfg);
+        ctx.stats.add_pq_ops(out.pq_ops);
         if out.lambda_hat < lambda {
             lambda = out.lambda_hat;
+            ctx.stats.record_lambda(lambda);
             if cfg.compute_side {
                 let prefix = out.best_prefix.as_deref().expect("improvement has witness");
                 best_side = Some(membership.side_of_vertices(prefix));
@@ -119,9 +160,10 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
         } else {
             // Rescue 1: one sequential CAPFOREST pass (Algorithm 2 line 5).
             let start = rng.gen_range(0..current.n() as NodeId);
-            let seq = capforest::<BinaryHeapPq>(&current, lambda, start, true);
+            let seq = capforest::<CountingPq<BinaryHeapPq>>(&current, lambda, start, true);
             if seq.lambda_hat < lambda {
                 lambda = seq.lambda_hat;
+                ctx.stats.record_lambda(lambda);
                 if cfg.compute_side {
                     let prefix = seq.best_prefix().expect("improvement has witness");
                     best_side = Some(membership.side_of_vertices(prefix));
@@ -130,9 +172,11 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
             let mut uf = seq.uf;
             if seq.unions == 0 {
                 // Rescue 2: a Stoer–Wagner phase always contracts safely.
+                ctx.stats.sw_rescues += 1;
                 let phase = stoer_wagner_phase(&current, start);
                 if phase.cut_of_phase < lambda {
                     lambda = phase.cut_of_phase;
+                    ctx.stats.record_lambda(lambda);
                     if cfg.compute_side {
                         best_side = Some(membership.side_of_vertices(&[phase.t]));
                     }
@@ -143,6 +187,7 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
         };
 
         debug_assert!(blocks < current.n(), "every round must make progress");
+        ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
         current = contract_parallel(&current, &labels, blocks);
         membership.contract(&labels, blocks);
 
@@ -150,6 +195,7 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
         if let Some((v, d)) = current.min_weighted_degree() {
             if current.n() >= 2 && d < lambda {
                 lambda = d;
+                ctx.stats.record_lambda(lambda);
                 if cfg.compute_side {
                     best_side = Some(membership.side_of_vertices(&[v]));
                 }
@@ -157,22 +203,24 @@ pub fn parallel_minimum_cut(g: &CsrGraph, cfg: &ParCutConfig) -> MinCutResult {
         }
     }
 
-    MinCutResult {
+    Ok(MinCutResult {
         value: lambda,
         side: best_side,
-    }
+    })
 }
 
+// Worker queues are wrapped in [`CountingPq`] so the per-round outcome
+// carries PQ-operation totals across all threads.
 fn run_parallel_pass(g: &CsrGraph, lambda: EdgeWeight, cfg: &ParCutConfig) -> ParCapforestOutcome {
     const MAX_BUCKET_BOUND: EdgeWeight = 1 << 26;
     match cfg.pq {
         PqKind::BStack if lambda <= MAX_BUCKET_BOUND => {
-            parallel_capforest::<BStackPq>(g, lambda, cfg.threads, cfg.seed)
+            parallel_capforest::<CountingPq<BStackPq>>(g, lambda, cfg.threads, cfg.seed)
         }
         PqKind::BQueue if lambda <= MAX_BUCKET_BOUND => {
-            parallel_capforest::<BQueuePq>(g, lambda, cfg.threads, cfg.seed)
+            parallel_capforest::<CountingPq<BQueuePq>>(g, lambda, cfg.threads, cfg.seed)
         }
-        _ => parallel_capforest::<BinaryHeapPq>(g, lambda, cfg.threads, cfg.seed),
+        _ => parallel_capforest::<CountingPq<BinaryHeapPq>>(g, lambda, cfg.threads, cfg.seed),
     }
 }
 

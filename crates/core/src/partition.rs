@@ -111,7 +111,10 @@ mod tests {
         let mut b0 = m.members(0).to_vec();
         b0.sort_unstable();
         assert_eq!(b0, vec![0, 2, 4]);
-        assert_eq!(m.side_of_vertices(&[1]), vec![false, true, false, true, false]);
+        assert_eq!(
+            m.side_of_vertices(&[1]),
+            vec![false, true, false, true, false]
+        );
     }
 
     #[test]

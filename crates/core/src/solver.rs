@@ -1,0 +1,192 @@
+//! The object-safe [`Solver`] trait and the instrumented [`Session`] API.
+//!
+//! Every algorithm in this crate (and the flow-based comparators of
+//! `mincut-flow`) sits behind this interface, so drivers — the CLI, the
+//! bench harness, the solver-matrix tests — sweep configurations without
+//! naming concrete types. A solve returns a [`SolveOutcome`]: the cut
+//! plus the [`SolverStats`] telemetry report.
+
+use std::time::Instant;
+
+use mincut_ds::take_counters;
+use mincut_graph::CsrGraph;
+
+use crate::error::MinCutError;
+use crate::options::SolveOptions;
+use crate::stats::{SolveContext, SolverStats};
+use crate::MinCutResult;
+
+/// Quality guarantee a solver's returned value carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Guarantee {
+    /// Always returns λ(G).
+    Exact,
+    /// Returns the value of an actual cut ≥ λ(G); equals λ with high
+    /// probability (Karger–Stein).
+    MonteCarlo,
+    /// Returns the value of an actual cut ≥ λ(G), no probability bound
+    /// (VieCut — in practice usually λ itself).
+    UpperBound,
+    /// Returns the value of an actual cut in [λ, (2+ε)·λ] (Matula).
+    TwoPlusEpsilon,
+}
+
+impl Guarantee {
+    pub fn is_exact(self) -> bool {
+        matches!(self, Guarantee::Exact)
+    }
+}
+
+/// What a solver supports, advertised through the registry so drivers
+/// can pick solvers by property instead of by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    pub guarantee: Guarantee,
+    /// Uses worker threads ([`SolveOptions::threads`]).
+    pub parallel: bool,
+    /// Can produce a witness side when [`SolveOptions::witness`] is set.
+    pub witness: bool,
+    /// Reads [`SolveOptions::pq`] (or accepts a queue-pinned name).
+    pub uses_pq: bool,
+    /// Output value may vary with [`SolveOptions::seed`] (inexact
+    /// solvers; exact solvers return λ for every seed).
+    pub randomized_value: bool,
+}
+
+/// A finished run: the cut and its telemetry.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    pub cut: MinCutResult,
+    pub stats: SolverStats,
+}
+
+/// An object-safe minimum-cut solver.
+///
+/// Implementations provide [`Solver::run`]; the provided [`Solver::solve`]
+/// wraps it with the shared preflight (input validation, the disconnected
+/// short-circuit), priority-queue counter harvesting and total timing, so
+/// every solver behaves uniformly at the edges.
+pub trait Solver: Send + Sync {
+    /// Canonical family name as registered (paper §4.1 spelling).
+    fn name(&self) -> &'static str;
+
+    fn capabilities(&self) -> Capabilities;
+
+    /// Fully-qualified instance name under the given options, e.g.
+    /// `NOIλ̂-BQueue-VieCut` or `ParCutλ̂-BQueue(p=8)`.
+    fn instance_name(&self, _opts: &SolveOptions) -> String {
+        self.name().to_string()
+    }
+
+    /// The algorithm body. `g` is guaranteed connected with n ≥ 2 and
+    /// `opts` validated when called through [`Solver::solve`].
+    fn run(
+        &self,
+        g: &CsrGraph,
+        opts: &SolveOptions,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<MinCutResult, MinCutError>;
+
+    /// Solves `g` under `opts`, producing the cut and its stats report.
+    ///
+    /// Uniform behavior across every solver: fewer than two vertices is
+    /// [`MinCutError::TooFewVertices`]; a disconnected graph returns
+    /// value 0 with a component witness without running the algorithm.
+    fn solve(&self, g: &CsrGraph, opts: &SolveOptions) -> Result<SolveOutcome, MinCutError> {
+        opts.validate()?;
+        let t0 = Instant::now();
+        let mut stats = SolverStats::new(self.instance_name(opts), g.n(), g.m());
+
+        if g.n() < 2 {
+            return Err(MinCutError::TooFewVertices { n: g.n() });
+        }
+        let (comp, ncomp) = mincut_graph::components::connected_components(g);
+        if ncomp > 1 {
+            stats.record_lambda(0);
+            stats.total_seconds = t0.elapsed().as_secs_f64();
+            let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+            return Ok(SolveOutcome {
+                cut: MinCutResult {
+                    value: 0,
+                    side: opts.witness.then_some(side),
+                },
+                stats,
+            });
+        }
+
+        // Harvest the calling thread's PQ counters around the run; the
+        // parallel drivers add their workers' counters explicitly.
+        let _ = take_counters();
+        let mut ctx = SolveContext::with_budget(&mut stats, opts.time_budget);
+        let result = self.run(g, opts, &mut ctx);
+        stats.add_pq_ops(take_counters());
+        let cut = result?;
+
+        stats.record_lambda(cut.value);
+        stats.total_seconds = t0.elapsed().as_secs_f64();
+        Ok(SolveOutcome { cut, stats })
+    }
+}
+
+impl std::fmt::Debug for dyn Solver + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Solver({})", self.name())
+    }
+}
+
+/// An instrumented solving session over one graph: resolve solvers by
+/// name through the [registry](crate::SolverRegistry), share one
+/// [`SolveOptions`] value, collect [`SolveOutcome`]s.
+///
+/// ```
+/// use mincut_core::{Session, SolveOptions};
+/// use mincut_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 1), (2, 3, 2), (3, 0, 1)]);
+/// let session = Session::new(&g).options(SolveOptions::new().seed(1));
+/// let outcome = session.run("noi-viecut").unwrap();
+/// assert_eq!(outcome.cut.value, 2);
+/// assert!(!outcome.stats.lambda_trajectory.is_empty());
+/// ```
+pub struct Session<'g> {
+    graph: &'g CsrGraph,
+    opts: SolveOptions,
+}
+
+impl<'g> Session<'g> {
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Session {
+            graph,
+            opts: SolveOptions::default(),
+        }
+    }
+
+    /// Replaces the session options (builder-style).
+    pub fn options(mut self, opts: SolveOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    pub fn options_mut(&mut self) -> &mut SolveOptions {
+        &mut self.opts
+    }
+
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// Runs the solver registered under `name` (canonical, alias, or
+    /// queue-pinned spelling).
+    pub fn run(&self, name: &str) -> Result<SolveOutcome, MinCutError> {
+        let solver = crate::SolverRegistry::global().resolve(name)?;
+        solver.solve(self.graph, &self.opts)
+    }
+
+    /// Runs every registered solver family once, in registry order.
+    pub fn run_all(&self) -> Vec<(&'static str, Result<SolveOutcome, MinCutError>)> {
+        crate::SolverRegistry::global()
+            .entries()
+            .map(|e| (e.canonical, self.run(e.canonical)))
+            .collect()
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-run telemetry: the `SolverStats` report carried by every
+//! [`SolveOutcome`](crate::SolveOutcome).
+//!
+//! The paper's evaluation is an argument about *where the work goes* —
+//! priority-queue operations saved by the λ̂ cap (§3.1.2), contractions
+//! unlocked by the VieCut bound (§3.1.1), bound improvements per pass.
+//! These counters make that measurable on every run instead of only
+//! inside the bench harness: the λ̂ trajectory, contraction and rescue
+//! counts, PQ operation totals (harvested from
+//! [`mincut_ds::take_counters`]) and named phase timings.
+
+use std::time::Instant;
+
+use mincut_ds::PqCounters;
+use mincut_graph::EdgeWeight;
+
+use crate::error::MinCutError;
+
+/// Wall-clock share of one named stage of a run (e.g. `"viecut"` seeding
+/// vs. the exact `"noi"` loop).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTiming {
+    pub name: &'static str,
+    pub seconds: f64,
+}
+
+/// Telemetry for a single solver run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolverStats {
+    /// Fully-qualified instance name, e.g. `NOIλ̂-BQueue-VieCut`.
+    pub algorithm: String,
+    /// Input size (vertices, edges).
+    pub n: usize,
+    pub m: usize,
+    /// Every distinct value λ̂ took, best-first improvements in run order.
+    /// The first entry is the initial bound (trivial degree cut or the
+    /// supplied/VieCut bound), the last the returned cut value.
+    pub lambda_trajectory: Vec<EdgeWeight>,
+    /// Outer contraction rounds (CAPFOREST passes, VieCut levels, …).
+    pub rounds: u64,
+    /// Vertices removed by contraction across all rounds.
+    pub contracted_vertices: u64,
+    /// Stoer–Wagner rescue phases taken when a scan marked nothing.
+    pub sw_rescues: u64,
+    /// Priority-queue operation totals (pushes / raises / pops) across
+    /// the run, including parallel workers.
+    pub pq_ops: PqCounters,
+    /// Named sub-phase timings.
+    pub phases: Vec<PhaseTiming>,
+    /// End-to-end wall-clock of `Solver::solve`.
+    pub total_seconds: f64,
+}
+
+impl SolverStats {
+    pub fn new(algorithm: String, n: usize, m: usize) -> Self {
+        SolverStats {
+            algorithm,
+            n,
+            m,
+            ..Default::default()
+        }
+    }
+
+    /// A stats sink for legacy entry points that discard telemetry.
+    pub(crate) fn scratch() -> Self {
+        SolverStats::default()
+    }
+
+    /// Records a λ̂ value; consecutive duplicates collapse so the vector
+    /// reads as a strictly improving trajectory after the first entry.
+    pub fn record_lambda(&mut self, value: EdgeWeight) {
+        if self.lambda_trajectory.last() != Some(&value) {
+            self.lambda_trajectory.push(value);
+        }
+    }
+
+    /// Accumulates harvested priority-queue counters.
+    pub fn add_pq_ops(&mut self, c: PqCounters) {
+        self.pq_ops.pushes += c.pushes;
+        self.pq_ops.raises += c.raises;
+        self.pq_ops.pops += c.pops;
+    }
+
+    /// Absorbs the work counters of a nested run (e.g. VieCut's exact
+    /// solve of the collapsed remainder) without adopting its λ̂
+    /// trajectory, which concerns a different graph.
+    pub fn absorb_work(&mut self, nested: &SolverStats) {
+        self.rounds += nested.rounds;
+        self.contracted_vertices += nested.contracted_vertices;
+        self.sw_rescues += nested.sw_rescues;
+        self.add_pq_ops(nested.pq_ops);
+    }
+
+    /// Times `f` and records it as phase `name`.
+    pub fn time_phase<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let result = f(self);
+        self.phases.push(PhaseTiming {
+            name,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+        result
+    }
+
+    /// Serializes the report as a single JSON object (no dependencies on
+    /// a JSON crate in this offline build).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_json_str(&mut s, "algorithm", &self.algorithm);
+        s.push_str(&format!(
+            "\"n\":{},\"m\":{},\"rounds\":{},\"contracted_vertices\":{},\"sw_rescues\":{},",
+            self.n, self.m, self.rounds, self.contracted_vertices, self.sw_rescues
+        ));
+        s.push_str("\"lambda_trajectory\":[");
+        for (i, l) in self.lambda_trajectory.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&l.to_string());
+        }
+        s.push_str("],");
+        s.push_str(&format!(
+            "\"pq_ops\":{{\"pushes\":{},\"raises\":{},\"pops\":{},\"total\":{}}},",
+            self.pq_ops.pushes,
+            self.pq_ops.raises,
+            self.pq_ops.pops,
+            self.pq_ops.total()
+        ));
+        s.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_json_str(&mut s, "name", p.name);
+            s.push_str(&format!("\"seconds\":{:.9}}}", p.seconds));
+        }
+        s.push_str("],");
+        s.push_str(&format!("\"total_seconds\":{:.9}", self.total_seconds));
+        s.push('}');
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push_str("\",");
+}
+
+/// Mutable run context threaded through the instrumented algorithm
+/// drivers: the stats sink plus the optional deadline.
+pub struct SolveContext<'a> {
+    pub stats: &'a mut SolverStats,
+    pub deadline: Option<Instant>,
+    /// The budget that produced `deadline` (for error reporting).
+    pub budget: Option<std::time::Duration>,
+}
+
+impl<'a> SolveContext<'a> {
+    pub fn new(stats: &'a mut SolverStats) -> Self {
+        SolveContext {
+            stats,
+            deadline: None,
+            budget: None,
+        }
+    }
+
+    pub fn with_budget(stats: &'a mut SolverStats, budget: Option<std::time::Duration>) -> Self {
+        SolveContext {
+            stats,
+            deadline: budget.map(|b| Instant::now() + b),
+            budget,
+        }
+    }
+
+    /// Fails the run when the deadline has passed. Called between outer
+    /// rounds, so overruns are bounded by one round's work.
+    pub fn check_budget(&self) -> Result<(), MinCutError> {
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(MinCutError::TimeBudgetExceeded {
+                budget: self.budget.unwrap_or_default(),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_trajectory_collapses_duplicates() {
+        let mut s = SolverStats::new("x".into(), 4, 4);
+        s.record_lambda(10);
+        s.record_lambda(10);
+        s.record_lambda(7);
+        s.record_lambda(7);
+        s.record_lambda(3);
+        assert_eq!(s.lambda_trajectory, vec![10, 7, 3]);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escapes() {
+        let mut s = SolverStats::new("NOIλ̂-\"Heap\"".into(), 10, 20);
+        s.record_lambda(5);
+        s.time_phase("noi", |_| ());
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"Heap\\\""));
+        assert!(j.contains("\"lambda_trajectory\":[5]"));
+        assert!(j.contains("\"phases\":[{\"name\":\"noi\""));
+    }
+
+    #[test]
+    fn budget_check_trips_after_deadline() {
+        let mut s = SolverStats::scratch();
+        let ctx = SolveContext::with_budget(&mut s, Some(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(
+            ctx.check_budget(),
+            Err(MinCutError::TimeBudgetExceeded { .. })
+        ));
+        let mut s2 = SolverStats::scratch();
+        let ctx2 = SolveContext::new(&mut s2);
+        assert!(ctx2.check_budget().is_ok());
+    }
+}

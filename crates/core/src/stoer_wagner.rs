@@ -19,7 +19,9 @@ use mincut_ds::{BinaryHeapPq, MaxPq};
 use mincut_graph::contract::contract_edge;
 use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
 
+use crate::error::MinCutError;
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
 /// Result of one maximum-adjacency phase.
@@ -81,27 +83,43 @@ pub fn stoer_wagner(g: &CsrGraph) -> MinCutResult {
             side: Some(side),
         };
     }
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    stoer_wagner_connected(g, &mut ctx).expect("Stoer-Wagner without a time budget cannot fail")
+}
+
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both). Feeds per-phase telemetry
+/// into the [`SolveContext`] and honors its time budget between phases.
+pub(crate) fn stoer_wagner_connected(
+    g: &CsrGraph,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
     let mut best = EdgeWeight::MAX;
     let mut best_side: Option<Vec<bool>> = None;
     while current.n() >= 2 {
+        ctx.check_budget()?;
+        ctx.stats.rounds += 1;
         let phase = stoer_wagner_phase(&current, 0);
         if phase.cut_of_phase < best {
             best = phase.cut_of_phase;
+            ctx.stats.record_lambda(best);
             best_side = Some(membership.side_of_vertices(&[phase.t]));
         }
         if current.n() == 2 {
             break;
         }
+        ctx.stats.contracted_vertices += 1;
         let (next, labels) = contract_edge(&current, phase.s, phase.t);
         membership.contract(&labels, next.n());
         current = next;
     }
-    MinCutResult {
+    Ok(MinCutResult {
         value: best,
         side: best_side,
-    }
+    })
 }
 
 #[cfg(test)]

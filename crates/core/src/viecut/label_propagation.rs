@@ -18,11 +18,7 @@ use rayon::prelude::*;
 
 /// Runs `iterations` rounds of label propagation; returns dense cluster
 /// labels in `[0, count)` and the cluster count.
-pub fn label_propagation(
-    g: &CsrGraph,
-    iterations: usize,
-    seed: u64,
-) -> (Vec<NodeId>, usize) {
+pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<NodeId>, usize) {
     let n = g.n();
     if n == 0 {
         return (Vec::new(), 0);

@@ -22,8 +22,10 @@ use mincut_ds::{PqKind, UnionFind};
 use mincut_graph::contract::contract_parallel;
 use mincut_graph::{CsrGraph, EdgeWeight};
 
-use crate::noi::{noi_minimum_cut, NoiConfig};
+use crate::error::MinCutError;
+use crate::noi::{noi_minimum_cut_connected, NoiConfig};
 use crate::partition::Membership;
+use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
 pub use label_propagation::label_propagation;
@@ -57,16 +59,40 @@ impl Default for VieCutConfig {
 /// an actual cut (witness included when `compute_side`); on the paper's
 /// benchmark families it is usually λ itself. Requires n ≥ 2.
 pub fn viecut(g: &CsrGraph, cfg: &VieCutConfig) -> MinCutResult {
+    let mut stats = SolverStats::scratch();
+    let mut ctx = SolveContext::new(&mut stats);
+    viecut_instrumented(g, cfg, &mut ctx).expect("VieCut without a time budget cannot fail")
+}
+
+/// [`viecut`] feeding per-level telemetry (λ̂ trajectory, contraction
+/// counts) into the [`SolveContext`] and honoring its optional time
+/// budget between levels.
+pub fn viecut_instrumented(
+    g: &CsrGraph,
+    cfg: &VieCutConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
+        ctx.stats.record_lambda(0);
         let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
-        return MinCutResult {
+        return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
-        };
+        });
     }
+    viecut_connected(g, cfg, ctx)
+}
 
+/// Algorithm body for inputs already known to be connected with n ≥ 2
+/// (the session preflight guarantees both), skipping the redundant
+/// component scan.
+pub(crate) fn viecut_connected(
+    g: &CsrGraph,
+    cfg: &VieCutConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
     let (dv, mut lambda) = {
@@ -79,8 +105,12 @@ pub fn viecut(g: &CsrGraph, cfg: &VieCutConfig) -> MinCutResult {
         s
     });
 
+    ctx.stats.record_lambda(lambda);
+
     let mut level_seed = cfg.seed;
     while current.n() > cfg.exact_threshold {
+        ctx.check_budget()?;
+        ctx.stats.rounds += 1;
         let n_before = current.n();
         // (1) cluster.
         let (labels, clusters) = label_propagation(&current, cfg.lp_iterations, level_seed);
@@ -93,9 +123,11 @@ pub fn viecut(g: &CsrGraph, cfg: &VieCutConfig) -> MinCutResult {
             break;
         }
         if clusters < current.n() {
+            ctx.stats.contracted_vertices += (current.n() - clusters) as u64;
             current = contract_parallel(&current, &labels, clusters);
             membership.contract(&labels, clusters);
             update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
+            ctx.stats.record_lambda(lambda);
         }
         // (2) Padberg–Rinaldi pass on the contracted graph.
         if current.n() > cfg.exact_threshold {
@@ -103,9 +135,11 @@ pub fn viecut(g: &CsrGraph, cfg: &VieCutConfig) -> MinCutResult {
             let unions = padberg_rinaldi_pass(&current, lambda, &mut uf);
             if unions > 0 && uf.count() > 1 {
                 let (labels, blocks) = uf.dense_labels();
+                ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
                 current = contract_parallel(&current, &labels, blocks);
                 membership.contract(&labels, blocks);
                 update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
+                ctx.stats.record_lambda(lambda);
             }
         }
         if current.n() <= 1 {
@@ -119,30 +153,44 @@ pub fn viecut(g: &CsrGraph, cfg: &VieCutConfig) -> MinCutResult {
         }
     }
 
-    // (3) exact solve of the small remainder.
+    // (3) exact solve of the small remainder (connected: contraction
+    // preserves connectivity). Runs against a nested stats sink: its λ̂
+    // trajectory concerns the collapsed graph and would pollute ours,
+    // but its work counters are ours.
     if current.n() >= 2 {
-        let exact = noi_minimum_cut(
-            &current,
-            &NoiConfig {
-                pq: PqKind::Heap,
-                bounded: true,
-                initial_bound: None,
-                compute_side: cfg.compute_side,
-                seed: cfg.seed,
-            },
-        );
+        let mut nested = SolverStats::scratch();
+        let exact = {
+            let mut inner = SolveContext {
+                stats: &mut nested,
+                deadline: ctx.deadline,
+                budget: ctx.budget,
+            };
+            noi_minimum_cut_connected(
+                &current,
+                &NoiConfig {
+                    pq: PqKind::Heap,
+                    bounded: true,
+                    initial_bound: None,
+                    compute_side: cfg.compute_side,
+                    seed: cfg.seed,
+                },
+                &mut inner,
+            )?
+        };
+        ctx.stats.absorb_work(&nested);
         if exact.value < lambda {
             lambda = exact.value;
+            ctx.stats.record_lambda(lambda);
             if cfg.compute_side {
                 best_side = Some(membership.side_of_bitmap(&exact.side.expect("requested")));
             }
         }
     }
 
-    MinCutResult {
+    Ok(MinCutResult {
         value: lambda,
         side: best_side,
-    }
+    })
 }
 
 fn update_trivial_bound(
@@ -172,7 +220,11 @@ mod tests {
         assert!(r.value >= lambda, "VieCut may not go below λ");
         let side = r.side.expect("witness");
         assert!(g.is_proper_cut(&side));
-        assert_eq!(g.cut_value(&side), r.value, "reported value must be a real cut");
+        assert_eq!(
+            g.cut_value(&side),
+            r.value,
+            "reported value must be a real cut"
+        );
         r.value
     }
 

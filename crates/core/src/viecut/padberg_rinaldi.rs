@@ -108,7 +108,15 @@ mod tests {
         // bound 5 ≥ λ̂ = 5 even though c(e) < λ̂ and degrees are large.
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 2), (0, 2, 3), (1, 2, 3), (0, 3, 9), (1, 4, 9), (2, 3, 1), (2, 4, 1)],
+            &[
+                (0, 1, 2),
+                (0, 2, 3),
+                (1, 2, 3),
+                (0, 3, 9),
+                (1, 4, 9),
+                (2, 3, 1),
+                (2, 4, 1),
+            ],
         );
         let mut uf = UnionFind::new(5);
         padberg_rinaldi_pass(&g, 5, &mut uf);

@@ -30,4 +30,6 @@ pub use sharded_map::{pack_edge, unpack_edge, ShardedMap};
 pub use union_find::{ConcurrentUnionFind, UnionFind};
 
 /// Convenience re-export of the priority-queue trait and implementations.
-pub use pq::{take_counters, BQueuePq, BStackPq, BinaryHeapPq, CountingPq, MaxPq, PqCounters, PqKind};
+pub use pq::{
+    take_counters, BQueuePq, BStackPq, BinaryHeapPq, CountingPq, MaxPq, PqCounters, PqKind,
+};

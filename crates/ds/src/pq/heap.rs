@@ -122,7 +122,10 @@ impl MaxPq for BinaryHeapPq {
 
     #[inline]
     fn push(&mut self, v: u32, prio: u64) {
-        debug_assert_eq!(self.pos[v as usize], ABSENT, "push of vertex already queued");
+        debug_assert_eq!(
+            self.pos[v as usize], ABSENT,
+            "push of vertex already queued"
+        );
         self.prio[v as usize] = prio;
         let slot = self.heap.len();
         self.heap.push(v);
@@ -180,7 +183,9 @@ mod tests {
         let mut present = [false; 64];
         let mut maxkey = vec![0u64; 64];
         for step in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as usize % 64;
             match step % 3 {
                 0 | 1 => {

@@ -193,12 +193,11 @@ impl ConcurrentUnionFind {
             let rank_a = self.rank[ra as usize].load(Ordering::Relaxed);
             let rank_b = self.rank[rb as usize].load(Ordering::Relaxed);
             // Total order on (rank, id): link the smaller under the larger.
-            let (child, parent, parent_rank, child_rank) =
-                if (rank_a, ra) < (rank_b, rb) {
-                    (ra, rb, rank_b, rank_a)
-                } else {
-                    (rb, ra, rank_a, rank_b)
-                };
+            let (child, parent, parent_rank, child_rank) = if (rank_a, ra) < (rank_b, rb) {
+                (ra, rb, rank_b, rank_a)
+            } else {
+                (rb, ra, rank_a, rank_b)
+            };
             if self.parent[child as usize]
                 .compare_exchange(child, parent, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()

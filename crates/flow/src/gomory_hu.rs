@@ -108,10 +108,7 @@ impl GomoryHuTree {
     /// The global minimum cut: the lightest tree edge (Gomory–Hu
     /// property), with its witness side.
     pub fn global_min_cut(&self) -> (EdgeWeight, &[bool]) {
-        let best = (1..self.n())
-            .map(|v| self.weight[v])
-            .min()
-            .expect("n >= 2");
+        let best = (1..self.n()).map(|v| self.weight[v]).min().expect("n >= 2");
         (best, &self.min_side)
     }
 

@@ -68,7 +68,7 @@ fn push_relabel(net: &mut Residual, s: NodeId, t: NodeId) -> EdgeWeight {
     height[s as usize] = n as u32;
     let mut excess = vec![0 as EdgeWeight; n];
     let mut cur = vec![0usize; n]; // current-arc pointer per vertex
-    // Active vertex buckets by height.
+                                   // Active vertex buckets by height.
     let mut active: Vec<Vec<NodeId>> = vec![Vec::new(); max_h + 1];
     let mut highest = 0usize;
     // Vertices per height level (for the gap heuristic), excluding s and t.
@@ -276,7 +276,15 @@ mod tests {
         // Two disjoint 0→3 paths with bottlenecks 2 and 4.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1, 2), (1, 3, 9), (0, 2, 4), (2, 3, 4), (4, 5, 1), (0, 4, 9), (5, 3, 1)],
+            &[
+                (0, 1, 2),
+                (1, 3, 9),
+                (0, 2, 4),
+                (2, 3, 4),
+                (4, 5, 1),
+                (0, 4, 9),
+                (5, 3, 1),
+            ],
         );
         let r = max_flow(&g, 0, 3);
         assert_eq!(r.value, 2 + 4 + 1);
@@ -304,7 +312,15 @@ mod tests {
         // Enumerate all s-t cuts of a fixed small graph and compare.
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1, 3), (0, 2, 2), (1, 2, 1), (1, 3, 2), (2, 4, 3), (3, 4, 2), (1, 4, 1)],
+            &[
+                (0, 1, 3),
+                (0, 2, 2),
+                (1, 2, 1),
+                (1, 3, 2),
+                (2, 4, 3),
+                (3, 4, 2),
+                (1, 4, 1),
+            ],
         );
         let (s, t) = (0, 4);
         let n = g.n();

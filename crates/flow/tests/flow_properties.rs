@@ -9,10 +9,8 @@ use proptest::prelude::*;
 fn small_graph() -> impl Strategy<Value = CsrGraph> {
     (2usize..9).prop_flat_map(|n| {
         let tree_w = proptest::collection::vec(1u64..8, n - 1);
-        let extra = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId, 1u64..8),
-            0..(2 * n),
-        );
+        let extra =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 1u64..8), 0..(2 * n));
         (Just(n), tree_w, extra).prop_map(|(n, tree_w, extra)| {
             let mut edges = Vec::new();
             for (v, w) in (1..n as NodeId).zip(tree_w) {

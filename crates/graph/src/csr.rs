@@ -347,11 +347,14 @@ impl GraphBuilder {
 
     /// Normalises and freezes into a [`CsrGraph`].
     pub fn build(mut self) -> CsrGraph {
-        self.edges.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+        self.edges
+            .sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
         // Merge duplicates in place.
         let mut out = 0usize;
         for i in 0..self.edges.len() {
-            if out > 0 && self.edges[out - 1].0 == self.edges[i].0 && self.edges[out - 1].1 == self.edges[i].1
+            if out > 0
+                && self.edges[out - 1].0 == self.edges[i].0
+                && self.edges[out - 1].1 == self.edges[i].1
             {
                 self.edges[out - 1].2 += self.edges[i].2;
             } else {
@@ -389,10 +392,7 @@ mod tests {
 
     #[test]
     fn self_loops_and_duplicates_normalised() {
-        let g = CsrGraph::from_edges(
-            3,
-            &[(0, 1, 1), (1, 0, 2), (0, 0, 7), (1, 2, 1), (2, 1, 0)],
-        );
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1), (1, 0, 2), (0, 0, 7), (1, 2, 1), (2, 1, 0)]);
         assert_eq!(g.m(), 2);
         assert_eq!(g.edge_weight(0, 1), Some(3)); // merged 1 + 2
         assert_eq!(g.edge_weight(1, 2), Some(1)); // zero-weight dup dropped
@@ -401,10 +401,7 @@ mod tests {
 
     #[test]
     fn adjacency_sorted() {
-        let g = CsrGraph::from_edges(
-            5,
-            &[(4, 2, 1), (4, 0, 1), (4, 3, 1), (4, 1, 1), (1, 0, 1)],
-        );
+        let g = CsrGraph::from_edges(5, &[(4, 2, 1), (4, 0, 1), (4, 3, 1), (4, 1, 1), (1, 0, 1)]);
         assert_eq!(g.neighbors(4), &[0, 1, 2, 3]);
         assert_eq!(g.neighbors(0), &[1, 4]);
     }

@@ -10,7 +10,10 @@ use crate::{CsrGraph, GraphBuilder, NodeId};
 /// (unweighted, weight 1). Panics if `m` exceeds `n(n-1)/2`.
 pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     let max = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max, "G(n={n}, m={m}) requested but only {max} pairs exist");
+    assert!(
+        m <= max,
+        "G(n={n}, m={m}) requested but only {max} pairs exist"
+    );
     assert!(
         m <= max / 2 || n < 4000,
         "rejection sampling needs m well below the maximum for large n"

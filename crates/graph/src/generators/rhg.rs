@@ -82,7 +82,9 @@ pub fn random_hyperbolic_graph<R: Rng>(params: &RhgParams, rng: &mut R) -> CsrGr
     for band in &mut bands {
         band.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     }
-    let band_inner: Vec<f64> = (0..nbands).map(|i| radius * i as f64 / nbands as f64).collect();
+    let band_inner: Vec<f64> = (0..nbands)
+        .map(|i| radius * i as f64 / nbands as f64)
+        .collect();
 
     let mut builder = GraphBuilder::new(n);
     for u in 0..n {
@@ -224,7 +226,13 @@ fn calibrate_radius<R: Rng>(
     0.5 * (lo + hi)
 }
 
-fn estimate_avg_degree<R: Rng>(n: usize, alpha: f64, radius: f64, samples: usize, rng: &mut R) -> f64 {
+fn estimate_avg_degree<R: Rng>(
+    n: usize,
+    alpha: f64,
+    radius: f64,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
     let cosh_radius = radius.cosh();
     let mut hits = 0usize;
     for _ in 0..samples {
@@ -329,7 +337,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(77);
         let radius = 12.0;
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_radius(2.0, radius, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_radius(2.0, radius, &mut rng))
+            .collect();
         let beyond_half = samples.iter().filter(|&&r| r > radius / 2.0).count();
         // With α=2 nearly all mass is in the outer half of the disk.
         assert!(beyond_half as f64 / n as f64 > 0.95);

@@ -76,7 +76,8 @@ fn sample_cell<R: Rng>(scale: u32, p: RmatParams, rng: &mut R) -> (NodeId, NodeI
         // de-correlates levels, avoiding the rigid self-similar artifacts.
         let (mut a, mut b_, mut c, mut d) = (p.a, p.b, p.c, p.d);
         if p.noise > 0.0 {
-            let jitter = |x: f64, rng: &mut R| x * (1.0 - p.noise + 2.0 * p.noise * rng.gen::<f64>());
+            let jitter =
+                |x: f64, rng: &mut R| x * (1.0 - p.noise + 2.0 * p.noise * rng.gen::<f64>());
             a = jitter(a, rng);
             b_ = jitter(b_, rng);
             c = jitter(c, rng);

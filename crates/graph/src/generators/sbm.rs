@@ -33,7 +33,11 @@ pub fn planted_partition<R: Rng>(
     // harness only uses moderate n, so the O(n²) loop keeps it simple.
     for u in 0..n {
         for v in u + 1..n {
-            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p) {
                 b.add_edge(u as NodeId, v as NodeId, 1);
             }
@@ -111,10 +115,7 @@ mod tests {
         let g = planted_partition(2, 8, 0.9, 0.02, &mut rng);
         if is_connected(&g) {
             let lambda = brute_force_mincut(&g);
-            let inter = g
-                .edges()
-                .filter(|&(u, v, _)| u / 8 != v / 8)
-                .count() as u64;
+            let inter = g.edges().filter(|&(u, v, _)| u / 8 != v / 8).count() as u64;
             assert!(lambda <= inter, "community boundary bounds the cut");
         }
     }

@@ -16,7 +16,10 @@ use crate::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};
 pub enum GraphIoError {
     Io(std::io::Error),
     /// Malformed content, with a 1-based line number and message.
-    Parse { line: usize, message: String },
+    Parse {
+        line: usize,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for GraphIoError {
@@ -109,7 +112,10 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
         while let Some(nb) = tok.next() {
             let nb: usize = nb.parse().map_err(|e| int_err(no + 1, e))?;
             if nb == 0 || nb > n {
-                return Err(parse_err(no + 1, format!("neighbour {nb} out of range 1..={n}")));
+                return Err(parse_err(
+                    no + 1,
+                    format!("neighbour {nb} out of range 1..={n}"),
+                ));
             }
             let w: EdgeWeight = if has_edge_weights {
                 tok.next()
@@ -127,13 +133,19 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
         vertex += 1;
     }
     if vertex != n {
-        return Err(parse_err(0, format!("expected {n} vertex lines, got {vertex}")));
+        return Err(parse_err(
+            0,
+            format!("expected {n} vertex lines, got {vertex}"),
+        ));
     }
     let g = b.build();
     if g.m() != m {
         return Err(parse_err(
             0,
-            format!("header says {m} edges but adjacency lists contain {}", g.m()),
+            format!(
+                "header says {m} edges but adjacency lists contain {}",
+                g.m()
+            ),
         ));
     }
     Ok(g)
@@ -168,7 +180,10 @@ pub fn write_metis<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()>
 /// Reads a whitespace-separated edge list: `u v [w]` per line, 0-based ids,
 /// `#` and `%` comments. The vertex count is `max id + 1` unless a larger
 /// `n` is given.
-pub fn read_edge_list<R: BufRead>(reader: R, n_hint: Option<usize>) -> Result<CsrGraph, GraphIoError> {
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    n_hint: Option<usize>,
+) -> Result<CsrGraph, GraphIoError> {
     let mut edges: Vec<(NodeId, NodeId, EdgeWeight)> = Vec::new();
     let mut max_id: u64 = 0;
     for (no, line) in reader.lines().enumerate() {
@@ -201,7 +216,10 @@ pub fn read_edge_list<R: BufRead>(reader: R, n_hint: Option<usize>) -> Result<Cs
     let n = match n_hint {
         Some(n) => {
             if !edges.is_empty() && n <= max_id as usize {
-                return Err(parse_err(0, format!("n_hint {n} smaller than max id {max_id}")));
+                return Err(parse_err(
+                    0,
+                    format!("n_hint {n} smaller than max id {max_id}"),
+                ));
             }
             n
         }

@@ -151,9 +151,13 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 12345u64;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 33) % 60) as u32;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) % 60) as u32;
             if u != v {
                 edges.push((u, v));

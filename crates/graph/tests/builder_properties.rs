@@ -8,10 +8,8 @@ use proptest::prelude::*;
 
 fn raw_edges() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId, u64)>)> {
     (1usize..50).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId, 0u64..6),
-            0..(4 * n),
-        );
+        let edges =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 0u64..6), 0..(4 * n));
         (Just(n), edges)
     })
 }

@@ -1,0 +1,85 @@
+//! Offline, API-compatible subset of `parking_lot`, backed by
+//! `std::sync`. The signature difference that matters to callers is that
+//! `lock()` returns the guard directly (no `Result`); poisoning is
+//! translated into a panic-through, which matches `parking_lot`'s
+//! no-poisoning semantics for the non-panicking path.
+
+use std::sync::TryLockError;
+
+pub use std::sync::MutexGuard;
+pub use std::sync::RwLockReadGuard;
+pub use std::sync::RwLockWriteGuard;
+
+/// A mutex whose `lock` never returns `Err` (parking_lot semantics).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(_) => panic!("poisoned mutex"),
+        }
+    }
+}
+
+/// A reader-writer lock whose accessors never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! covers exactly the data-parallel surface the workspace uses:
+//!
+//! * `(range).into_par_iter().for_each(f)` — index parallelism;
+//! * `slice.par_chunks(size).for_each(f)` — chunk parallelism;
+//! * `slice.par_sort_unstable_by_key(f)` — sequential fallback.
+//!
+//! `for_each` is genuinely parallel: the index space is split evenly
+//! across `std::thread::available_parallelism()` scoped threads. There is
+//! no work stealing — the workloads here (graph contraction, label
+//! propagation) are pre-chunked evenly by their callers, which is exactly
+//! the shape static splitting handles well.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+use std::ops::Range;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(items.max(1))
+}
+
+/// `into_par_iter()` for integer ranges.
+pub trait IntoParallelIterator {
+    type ParIter;
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type ParIter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange(self)
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct ParRange(Range<usize>);
+
+impl ParRange {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let Range { start, end } = self.0;
+        let len = end.saturating_sub(start);
+        if len == 0 {
+            return;
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            (start..end).for_each(f);
+            return;
+        }
+        let per = len.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let lo = start + w * per;
+                let hi = (lo + per).min(end);
+                if lo < hi {
+                    scope.spawn(move || (lo..hi).for_each(f));
+                }
+            }
+        });
+    }
+
+    pub fn map<F, T>(self, f: F) -> std::iter::Map<Range<usize>, F>
+    where
+        F: FnMut(usize) -> T,
+    {
+        self.0.map(f)
+    }
+}
+
+/// `par_chunks` for shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks with zero chunk size");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// A parallel iterator over slice chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Send + Sync,
+    {
+        let chunks: Vec<&[T]> = self.slice.chunks(self.chunk_size).collect();
+        if chunks.is_empty() {
+            return;
+        }
+        let workers = worker_count(chunks.len());
+        if workers == 1 {
+            chunks.into_iter().for_each(f);
+            return;
+        }
+        let per = chunks.len().div_ceil(workers);
+        let f = &f;
+        let chunks = &chunks;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let lo = w * per;
+                let hi = (lo + per).min(chunks.len());
+                if lo < hi {
+                    scope.spawn(move || chunks[lo..hi].iter().for_each(|c| f(c)));
+                }
+            }
+        });
+    }
+}
+
+/// Mutable-slice parallel operations. The sort is a sequential fallback:
+/// correct, cache-friendly, and not on the measured hot paths.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_range_visits_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice() {
+        let data: Vec<usize> = (0..997).collect();
+        let sum = AtomicUsize::new(0);
+        data.par_chunks(64).for_each(|chunk| {
+            sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 997 * 996 / 2);
+    }
+
+    #[test]
+    fn par_sort_by_key_sorts() {
+        let mut v: Vec<(u64, u64)> = (0..100).map(|i| ((997 * i) % 101, i)).collect();
+        v.par_sort_unstable_by_key(|&(k, _)| k);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+        let empty: Vec<u8> = Vec::new();
+        empty.par_chunks(8).for_each(|_| panic!("must not run"));
+    }
+}

@@ -61,6 +61,9 @@ fn main() {
         let safe = (1..g.n() as NodeId)
             .filter(|&v| tree.min_cut_between(0, v) > f)
             .count();
-        println!("pairs (0, v) surviving any {f} link failures: {safe}/{}", g.n() - 1);
+        println!(
+            "pairs (0, v) surviving any {f} link failures: {safe}/{}",
+            g.n() - 1
+        );
     }
 }

@@ -56,7 +56,10 @@ fn main() {
         g.m(),
         core_numbers(&g).iter().max().unwrap()
     );
-    println!("\n{:>4} {:>8} {:>9} {:>6} {:>6}  note", "k", "core n", "core m", "λ", "δ");
+    println!(
+        "\n{:>4} {:>8} {:>9} {:>6} {:>6}  note",
+        "k", "core n", "core m", "λ", "δ"
+    );
 
     for k in [5u32, 6, 7, 8, 9, 10] {
         let (core, _orig_ids) = k_core_lcc(&g, k);

@@ -48,7 +48,11 @@ fn main() {
         .edges()
         .filter(|&(u, v, _)| side[u as usize] != side[v as usize])
         .collect();
-    let small = side.iter().filter(|&&s| s).count().min(network.n() - side.iter().filter(|&&s| s).count());
+    let small = side
+        .iter()
+        .filter(|&&s| s)
+        .count()
+        .min(network.n() - side.iter().filter(|&&s| s).count());
     println!(
         "{} simultaneous link failures disconnect {} routers from the rest:",
         critical.len(),

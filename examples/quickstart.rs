@@ -1,10 +1,11 @@
 //! Quickstart: build a small weighted graph, compute its exact minimum
-//! cut with the paper's fastest sequential configuration, and inspect the
-//! witness partition.
+//! cut with the paper's fastest sequential configuration through the
+//! solver session API, and inspect the witness partition and the
+//! telemetry report.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sm_mincut::{minimum_cut, Algorithm, CsrGraph, PqKind};
+use sm_mincut::{CsrGraph, Session, SolveOptions};
 
 fn main() {
     // Two triangles joined by a single light edge — the minimum cut is
@@ -28,34 +29,54 @@ fn main() {
         ],
     );
 
-    println!("graph: n = {}, m = {}, total weight = {}", g.n(), g.m(), g.total_edge_weight());
+    println!(
+        "graph: n = {}, m = {}, total weight = {}",
+        g.n(),
+        g.m(),
+        g.total_edge_weight()
+    );
 
-    // The paper's recommended sequential solver: NOIλ̂-Heap-VieCut.
-    let result = minimum_cut(&g, Algorithm::default());
-    println!("minimum cut value λ(G) = {}", result.value);
-    assert_eq!(result.value, 1);
+    // A session fixes the graph and options; solvers are resolved by
+    // name through the registry. "noi-viecut" is the CLI spelling of the
+    // paper's recommended sequential solver, NOIλ̂-Heap-VieCut.
+    let session = Session::new(&g).options(SolveOptions::new().seed(42));
+    let outcome = session.run("noi-viecut").expect("valid input");
+    println!("minimum cut value λ(G) = {}", outcome.cut.value);
+    assert_eq!(outcome.cut.value, 1);
 
     // The witness: one side of an optimal bipartition.
-    let side = result.side.as_ref().expect("witness tracking is on");
+    let side = outcome.cut.side.as_ref().expect("witness tracking is on");
     let left: Vec<usize> = (0..g.n()).filter(|&v| side[v]).collect();
     let right: Vec<usize> = (0..g.n()).filter(|&v| !side[v]).collect();
     println!("one side: {left:?}");
     println!("other side: {right:?}");
 
     // Always verifiable against the graph.
-    assert!(result.verify(&g));
+    assert!(outcome.cut.verify(&g));
 
-    // Every algorithm of the paper is a one-liner away:
-    for algo in [
-        Algorithm::NoiHnss,
-        Algorithm::NoiBounded { pq: PqKind::BQueue },
-        Algorithm::ParCut { pq: PqKind::BQueue, threads: 2 },
-        Algorithm::StoerWagner,
-        Algorithm::HaoOrlin,
+    // Every run carries a telemetry report: the λ̂ trajectory, how much
+    // the scans contracted, priority-queue operation totals, timings.
+    let stats = &outcome.stats;
+    println!(
+        "telemetry: λ̂ trajectory {:?}, {} rounds, {} vertices contracted, {} PQ ops",
+        stats.lambda_trajectory,
+        stats.rounds,
+        stats.contracted_vertices,
+        stats.pq_ops.total()
+    );
+
+    // Every algorithm of the paper is a name away — the registry is the
+    // single source of solver names (try `mincut --list` on the CLI).
+    for name in [
+        "noi-hnss",
+        "noi-bqueue",
+        "parcut",
+        "stoer-wagner",
+        "hao-orlin",
     ] {
-        let r = minimum_cut(&g, algo.clone());
-        println!("{algo:<28} -> λ = {}", r.value);
-        assert_eq!(r.value, 1);
+        let r = session.run(name).expect("valid input");
+        println!("{:<28} -> λ = {}", r.stats.algorithm, r.cut.value);
+        assert_eq!(r.cut.value, 1);
     }
     println!("all exact algorithms agree ✓");
 }

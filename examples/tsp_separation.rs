@@ -70,11 +70,18 @@ fn main() {
 
     if x_value < 2.0 {
         let side = cut.side.as_ref().unwrap();
-        let s_size = side.iter().filter(|&&s| s).count().min(n - side.iter().filter(|&&s| s).count());
+        let s_size = side
+            .iter()
+            .filter(|&&s| s)
+            .count()
+            .min(n - side.iter().filter(|&&s| s).count());
         println!("VIOLATED subtour-elimination constraint found!");
         println!("  |S| = {s_size} cities; add the cutting plane Σ_(e∈δ(S)) x_e ≥ 2");
         // The planted subtour is the violated set (x(δ(S)) = 1.2).
-        assert!((x_value - 1.2).abs() < 1e-9, "the planted violation is the minimum");
+        assert!(
+            (x_value - 1.2).abs() < 1e-9,
+            "the planted violation is the minimum"
+        );
         assert_eq!(s_size, k);
         assert!(cut.verify(&support));
     } else {

@@ -48,11 +48,7 @@ fn synthesise_netlist(modules: usize, cells: usize, rng: &mut SmallRng) -> CsrGr
 fn main() {
     let mut rng = SmallRng::seed_from_u64(7);
     let netlist = synthesise_netlist(8, 256, &mut rng);
-    println!(
-        "netlist: {} cells, {} wires",
-        netlist.n(),
-        netlist.m()
-    );
+    println!("netlist: {} cells, {} wires", netlist.n(), netlist.m());
 
     // The optimal bipartition cuts the narrow 2-wire interface.
     let result = minimum_cut(&netlist, Algorithm::default());
@@ -74,7 +70,10 @@ fn main() {
         Algorithm::NoiBounded { pq: PqKind::BStack },
         Algorithm::NoiBounded { pq: PqKind::Heap },
         Algorithm::NoiBoundedVieCut { pq: PqKind::Heap },
-        Algorithm::ParCut { pq: PqKind::BQueue, threads: 4 },
+        Algorithm::ParCut {
+            pq: PqKind::BQueue,
+            threads: 4,
+        },
     ] {
         let t0 = std::time::Instant::now();
         let r = minimum_cut(&netlist, algo.clone());

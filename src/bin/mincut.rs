@@ -1,46 +1,46 @@
 //! `mincut` — command-line exact minimum cut solver.
 //!
-//! ```text
-//! mincut [OPTIONS] <GRAPH>
+//! The `-a` flag resolves through [`SolverRegistry`], the single source
+//! of algorithm names: run `mincut --list` to see every registered
+//! solver with its aliases and guarantees. `--stats` prints the run's
+//! [`SolverStats`] telemetry as one JSON object on stdout.
 //!
-//! ARGS:
-//!   <GRAPH>    METIS file (*.graph, *.metis) or edge list (anything else;
-//!              lines "u v [w]", 0-based, # comments). "-" reads stdin as
-//!              an edge list.
-//!
-//! OPTIONS:
-//!   -a, --algorithm <NAME>   noi-viecut (default) | noi | noi-hnss |
-//!                            parcut | stoer-wagner | hao-orlin |
-//!                            karger-stein | viecut | matula
-//!   -q, --queue <KIND>       bstack | bqueue | heap (default heap)
-//!   -t, --threads <N>        worker threads for parcut (default: all)
-//!   -s, --seed <N>           RNG seed (default 42)
-//!       --side               print one side of the optimal cut
-//!       --edges              print the cut edge set
-//!   -h, --help
-//! ```
+//! Exit codes: 0 success, 1 runtime failure (I/O, parse, solver error,
+//! failed verification), 2 usage error. Diagnostics go to stderr; only
+//! results (`lambda …`, `side …`, `cutedge …`, the `--stats` JSON) go to
+//! stdout.
 
 use std::process::exit;
 
 use sm_mincut::graph::io::{read_edge_list, read_metis};
-use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, PqKind};
+use sm_mincut::{CsrGraph, MinCutError, Session, SolveOptions, SolverRegistry};
 
 struct Options {
     path: String,
     algorithm: String,
-    queue: PqKind,
-    threads: usize,
-    seed: u64,
+    opts: SolveOptions,
     print_side: bool,
     print_edges: bool,
+    print_stats: bool,
 }
 
 fn usage() -> ! {
-    eprint!("{}", HELP);
+    eprint!("{}", help_text());
     exit(2)
 }
 
-const HELP: &str = "\
+fn help_text() -> String {
+    let mut names = String::new();
+    for e in SolverRegistry::global().entries() {
+        names.push_str(&format!(
+            "    {:<18} {:<34} {}\n",
+            e.aliases.first().copied().unwrap_or(e.canonical),
+            e.canonical,
+            e.summary
+        ));
+    }
+    format!(
+        "\
 mincut - exact minimum cut solver (Henzinger-Noe-Schulz, IPDPS 2019)
 
 USAGE: mincut [OPTIONS] <GRAPH>
@@ -49,26 +49,32 @@ ARGS:
   <GRAPH>  METIS file (*.graph, *.metis) or edge list; '-' = stdin edge list
 
 OPTIONS:
-  -a, --algorithm <NAME>  noi-viecut (default) | noi | noi-hnss | parcut |
-                          stoer-wagner | hao-orlin | karger-stein | viecut |
-                          matula
+  -a, --algorithm <NAME>  solver name: CLI spelling, paper name, or a
+                          queue-pinned spelling like noi-bstack-viecut
+                          (default noi-viecut)
   -q, --queue <KIND>      bstack | bqueue | heap (default heap)
   -t, --threads <N>       worker threads for parcut (default: all cores)
   -s, --seed <N>          RNG seed (default 42)
+      --budget-ms <N>     fail if the solve exceeds N milliseconds
+      --stats             print the SolverStats report as JSON on stdout
       --side              print one side of the optimal cut
       --edges             print the cut edge set
+      --list              list registered solvers and exit
   -h, --help              show this help
-";
+
+SOLVERS (cli name, paper name, description):
+{names}"
+    )
+}
 
 fn parse_args() -> Options {
     let mut opts = Options {
         path: String::new(),
         algorithm: "noi-viecut".into(),
-        queue: PqKind::Heap,
-        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
-        seed: 42,
+        opts: SolveOptions::new().seed(42),
         print_side: false,
         print_edges: false,
+        print_stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -80,29 +86,53 @@ fn parse_args() -> Options {
         };
         match a.as_str() {
             "-h" | "--help" => {
-                print!("{HELP}");
+                print!("{}", help_text());
+                exit(0)
+            }
+            "--list" => {
+                for e in SolverRegistry::global().entries() {
+                    println!(
+                        "{:<22} aliases: {:<28} guarantee: {:?}",
+                        e.canonical,
+                        e.aliases.join(", "),
+                        e.caps.guarantee
+                    );
+                }
                 exit(0)
             }
             "-a" | "--algorithm" => opts.algorithm = value("--algorithm"),
             "-q" | "--queue" => {
                 let v = value("--queue");
-                opts.queue = v.parse().unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    exit(2)
-                });
+                match v.parse() {
+                    Ok(pq) => opts.opts.pq = pq,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(2)
+                    }
+                }
             }
-            "-t" | "--threads" => {
-                opts.threads = value("--threads").parse().unwrap_or_else(|_| {
+            "-t" | "--threads" => match value("--threads").parse() {
+                Ok(t) if t >= 1 => opts.opts.threads = t,
+                _ => {
                     eprintln!("error: --threads needs a positive integer");
                     exit(2)
-                });
-            }
-            "-s" | "--seed" => {
-                opts.seed = value("--seed").parse().unwrap_or_else(|_| {
+                }
+            },
+            "-s" | "--seed" => match value("--seed").parse() {
+                Ok(s) => opts.opts.seed = s,
+                Err(_) => {
                     eprintln!("error: --seed needs an integer");
                     exit(2)
-                });
-            }
+                }
+            },
+            "--budget-ms" => match value("--budget-ms").parse::<u64>() {
+                Ok(ms) => opts.opts.time_budget = Some(std::time::Duration::from_millis(ms)),
+                Err(_) => {
+                    eprintln!("error: --budget-ms needs a non-negative integer");
+                    exit(2)
+                }
+            },
+            "--stats" => opts.print_stats = true,
             "--side" => opts.print_side = true,
             "--edges" => opts.print_edges = true,
             _ if a.starts_with('-') && a != "-" => {
@@ -147,54 +177,54 @@ fn load_graph(path: &str) -> CsrGraph {
     })
 }
 
-fn resolve_algorithm(opts: &Options) -> Algorithm {
-    match opts.algorithm.as_str() {
-        "noi-viecut" => Algorithm::NoiBoundedVieCut { pq: opts.queue },
-        "noi" => Algorithm::NoiBounded { pq: opts.queue },
-        "noi-hnss" => Algorithm::NoiHnss,
-        "parcut" => Algorithm::ParCut {
-            pq: opts.queue,
-            threads: opts.threads,
-        },
-        "stoer-wagner" => Algorithm::StoerWagner,
-        "hao-orlin" => Algorithm::HaoOrlin,
-        "karger-stein" => Algorithm::KargerStein { repetitions: 16 },
-        "viecut" => Algorithm::VieCut,
-        "matula" => Algorithm::Matula { epsilon: 0.5 },
-        other => {
-            eprintln!("error: unknown algorithm {other:?}");
-            usage()
-        }
-    }
-}
-
 fn main() {
-    let opts = parse_args();
-    let algo = resolve_algorithm(&opts);
-    let g = load_graph(&opts.path);
-    if g.n() < 2 {
-        eprintln!("error: the graph has fewer than two vertices");
-        exit(1);
+    let cli = parse_args();
+
+    // Resolve the solver before the (possibly large) graph load so name
+    // typos fail fast, as a usage error.
+    if let Err(e) = SolverRegistry::global().resolve(&cli.algorithm) {
+        eprintln!("error: {e}");
+        eprintln!("hint: run `mincut --list` for all registered solvers");
+        exit(2)
     }
+
+    let g = load_graph(&cli.path);
     eprintln!("graph: n = {}, m = {}", g.n(), g.m());
-    let t0 = std::time::Instant::now();
-    let result = minimum_cut_seeded(&g, algo.clone(), opts.seed);
-    let elapsed = t0.elapsed().as_secs_f64();
-    eprintln!("algorithm: {algo} ({elapsed:.3} s)");
-    println!("lambda {}", result.value);
-    if !result.verify(&g) {
+
+    let session = Session::new(&g).options(cli.opts.clone());
+    let outcome = match session.run(&cli.algorithm) {
+        Ok(o) => o,
+        Err(e @ MinCutError::TooFewVertices { .. }) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+        Err(e) => {
+            eprintln!("error: solver failed: {e}");
+            exit(1)
+        }
+    };
+
+    eprintln!(
+        "algorithm: {} ({:.3} s)",
+        outcome.stats.algorithm, outcome.stats.total_seconds
+    );
+    println!("lambda {}", outcome.cut.value);
+    if !outcome.cut.verify(&g) {
         eprintln!("internal error: witness failed verification");
         exit(1);
     }
-    let side = result.side.expect("verified witness present");
-    if opts.print_side {
+    if cli.print_stats {
+        println!("{}", outcome.stats.to_json());
+    }
+    let side = outcome.cut.side.expect("verified witness present");
+    if cli.print_side {
         let members: Vec<String> = (0..g.n())
             .filter(|&v| side[v])
             .map(|v| v.to_string())
             .collect();
         println!("side {}", members.join(" "));
     }
-    if opts.print_edges {
+    if cli.print_edges {
         for (u, v, w) in g.edges() {
             if side[u as usize] != side[v as usize] {
                 println!("cutedge {u} {v} {w}");

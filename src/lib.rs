@@ -7,24 +7,43 @@
 //! * [`graph`] — CSR graphs, builders, generators, k-cores, components, IO
 //!   (`mincut-graph`);
 //! * [`algorithms`] — every minimum-cut algorithm of the paper behind the
-//!   unified [`minimum_cut`] front door (`mincut-core`);
+//!   [`Solver`] registry and [`Session`] API (`mincut-core`);
 //! * [`flow`] — push-relabel max-flow and Hao–Orlin (`mincut-flow`);
 //! * [`ds`] — the priority queues and concurrent structures
 //!   (`mincut-ds`), exposed for users building their own drivers.
 //!
 //! ## Quick start
 //!
+//! Solvers are resolved by name through the [`SolverRegistry`] — the
+//! paper's §4.1 names (`NOIλ̂-VieCut`, `ParCutλ̂`) or their CLI spellings
+//! (`noi-viecut`, `parcut`) — and every run returns the cut together
+//! with a [`SolverStats`] telemetry report:
+//!
 //! ```
-//! use sm_mincut::{minimum_cut, Algorithm, CsrGraph};
+//! use sm_mincut::{CsrGraph, Session, SolveOptions};
 //!
 //! let g = CsrGraph::from_edges(5, &[
 //!     (0, 1, 3), (1, 2, 3), (0, 2, 3), // a triangle...
 //!     (2, 3, 1),                        // ...weakly attached to...
 //!     (3, 4, 3),                        // ...a heavy pair.
 //! ]);
+//! let outcome = Session::new(&g)
+//!     .options(SolveOptions::new().seed(42))
+//!     .run("noi-viecut")
+//!     .unwrap();
+//! assert_eq!(outcome.cut.value, 1);
+//! assert!(outcome.cut.verify(&g));
+//! assert_eq!(*outcome.stats.lambda_trajectory.last().unwrap(), 1);
+//! ```
+//!
+//! The enum front door of earlier releases still works as a shim:
+//!
+//! ```
+//! use sm_mincut::{minimum_cut, Algorithm, CsrGraph};
+//!
+//! let g = CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 1), (2, 0, 1)]);
 //! let cut = minimum_cut(&g, Algorithm::default());
-//! assert_eq!(cut.value, 1);
-//! assert!(cut.verify(&g));
+//! assert_eq!(cut.value, 2);
 //! ```
 
 pub use mincut_core as algorithms;
@@ -33,5 +52,8 @@ pub use mincut_flow as flow;
 pub use mincut_graph as graph;
 
 // The names a typical user needs, flattened.
-pub use mincut_core::{minimum_cut, minimum_cut_seeded, Algorithm, Membership, MinCutResult, PqKind};
+pub use mincut_core::{
+    minimum_cut, minimum_cut_seeded, Algorithm, Capabilities, Guarantee, Membership, MinCutError,
+    MinCutResult, PqKind, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry, SolverStats,
+};
 pub use mincut_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};

@@ -14,10 +14,8 @@ use sm_mincut::{CsrGraph, NodeId};
 fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
     (3usize..12).prop_flat_map(|n| {
         let tree_w = proptest::collection::vec(1u64..6, n - 1);
-        let extra = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId, 1u64..6),
-            0..(n * 2),
-        );
+        let extra =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 1u64..6), 0..(n * 2));
         (Just(n), tree_w, extra).prop_map(|(n, tree_w, extra)| {
             let mut edges = Vec::new();
             for (v, w) in (1..n as NodeId).zip(tree_w) {

@@ -10,10 +10,8 @@ use sm_mincut::{CsrGraph, NodeId};
 
 fn graph_and_labels() -> impl Strategy<Value = (CsrGraph, Vec<NodeId>, usize)> {
     (4usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId, 1u64..9),
-            n..(3 * n),
-        );
+        let edges =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 1u64..9), n..(3 * n));
         let blocks = 2usize..=n.min(8);
         (Just(n), edges, blocks).prop_flat_map(|(n, edges, blocks)| {
             proptest::collection::vec(0..blocks as NodeId, n).prop_map(move |mut raw| {

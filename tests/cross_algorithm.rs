@@ -14,10 +14,8 @@ use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, NodeId, PqKind};
 fn small_graph() -> impl Strategy<Value = CsrGraph> {
     (2usize..10).prop_flat_map(|n| {
         let tree_edges = proptest::collection::vec(1u64..8, n - 1);
-        let extra = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId, 1u64..8),
-            0..(n * 2),
-        );
+        let extra =
+            proptest::collection::vec((0..n as NodeId, 0..n as NodeId, 1u64..8), 0..(n * 2));
         (Just(n), tree_edges, extra).prop_map(|(n, tree_w, extra)| {
             let mut edges = Vec::new();
             for (v, w) in (1..n as NodeId).zip(tree_w) {

@@ -2,9 +2,7 @@
 //! every queue, on every instance family of the evaluation — RHG, skewed
 //! k-core proxies, and structured families with planted cuts.
 
-use sm_mincut::graph::generators::{
-    barabasi_albert, known, random_hyperbolic_graph, RhgParams,
-};
+use sm_mincut::graph::generators::{barabasi_albert, known, random_hyperbolic_graph, RhgParams};
 use sm_mincut::graph::kcore::k_core_lcc;
 use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, PqKind};
 
