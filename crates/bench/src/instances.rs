@@ -217,6 +217,47 @@ pub fn fig5_instances(scale: Scale) -> Vec<Instance> {
     out
 }
 
+/// The batch-serving corpus: 64 instances mixing every generator family
+/// at sizes set by `SMC_SCALE`, the workload of the `batch_throughput`
+/// bench and the service's differential tests (batch vs. serial Session
+/// loop). Deterministic: instance `i` is always the same graph.
+pub fn batch_corpus(scale: Scale) -> Vec<Instance> {
+    use mincut_graph::generators::known;
+    let unit = match scale {
+        Scale::Tiny => 1usize,
+        Scale::Small => 4,
+        Scale::Full => 16,
+    };
+    let mut out = Vec::with_capacity(64);
+    for i in 0..64usize {
+        let v = i / 4; // variant within the family, 0..16
+        let (name, graph) = match i % 4 {
+            0 => {
+                let (a, b) = (6 + v * unit, 7 + v * unit);
+                let (g, _) = known::two_communities(a, b, 2, (2 + v % 3) as u64, 1);
+                (format!("two_communities_{a}_{b}"), g)
+            }
+            1 => {
+                let (k, s) = (4 + v % 5, (4 + v) * unit.min(4));
+                let (g, _) = known::ring_of_cliques(k.max(3), s.max(3), 2, 1);
+                (format!("ring_of_cliques_{k}_{s}"), g)
+            }
+            2 => {
+                let (r, c) = (3 + v, 4 + v * unit);
+                let (g, _) = known::grid_graph(r, c, 1 + (v % 2) as u64);
+                (format!("grid_{r}x{c}"), g)
+            }
+            _ => {
+                let n = (24 + 8 * v) * unit;
+                let mut rng = SmallRng::seed_from_u64(9000 + i as u64);
+                (format!("gnm_{n}"), gnm(n, 3 * n, &mut rng))
+            }
+        };
+        out.push(Instance::new(format!("{i:02}_{name}"), graph));
+    }
+    out
+}
+
 /// Thread counts exercised by the scaling figure. The paper uses
 /// 1, 2, 4, 8, 12, 24 on a 12-core machine; we keep the list but cap it
 /// at 2× the available parallelism (oversubscription column, like the

@@ -1,0 +1,80 @@
+//! Differential harness for the batch serving layer: over the full
+//! 64-instance tiny corpus, `MinCutService` must return bit-identical
+//! cut values to a serial `Session` loop, and a repeat submission must
+//! be served entirely from the fingerprint cut cache.
+
+use std::sync::Arc;
+
+use mincut_bench::instances::{batch_corpus, Scale};
+use mincut_core::{BatchJob, MinCutService, ServiceConfig, Session, SolveOptions};
+
+fn corpus_jobs(opts: &SolveOptions) -> Vec<BatchJob> {
+    batch_corpus(Scale::Tiny)
+        .into_iter()
+        .map(|inst| {
+            BatchJob::new(Arc::new(inst.graph), "noi-viecut")
+                .options(opts.clone())
+                .label(inst.name)
+        })
+        .collect()
+}
+
+#[test]
+fn batch_values_are_bit_identical_to_a_serial_session_loop() {
+    let opts = SolveOptions::new().seed(11);
+    let jobs = corpus_jobs(&opts);
+    assert_eq!(jobs.len(), 64);
+
+    let serial: Vec<u64> = jobs
+        .iter()
+        .map(|job| {
+            Session::new(&job.graph)
+                .options(opts.clone())
+                .run(&job.solver)
+                .unwrap_or_else(|e| panic!("{}: {e}", job.label.as_deref().unwrap()))
+                .cut
+                .value
+        })
+        .collect();
+
+    for workers in [1usize, 4] {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(workers));
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        assert_eq!(report.stats.solved, 64, "{workers} workers: all fresh");
+        for ((job, row), expected) in jobs.iter().zip(&report.jobs).zip(&serial) {
+            let out = row.status.outcome().unwrap();
+            assert_eq!(
+                out.cut.value, *expected,
+                "{}: batch diverged from serial",
+                row.label
+            );
+            assert!(out.cut.verify(&job.graph), "{} witness", row.label);
+        }
+    }
+}
+
+#[test]
+fn repeat_corpus_submissions_never_resolve() {
+    let opts = SolveOptions::new().seed(11).witness(false);
+    let jobs = corpus_jobs(&opts);
+    let service = MinCutService::new(ServiceConfig::new().concurrency(4));
+
+    let first = service.run_batch(&jobs);
+    assert!(first.all_ok());
+    assert_eq!(first.stats.solved, 64);
+    assert_eq!(first.stats.cache_hits, 0, "distinct instances: no hits yet");
+
+    let second = service.run_batch(&jobs);
+    assert!(second.all_ok());
+    assert_eq!(second.stats.solved, 0, "resubmission must not re-solve");
+    assert_eq!(second.stats.cache_hits, 64);
+    for (a, b) in first.jobs.iter().zip(&second.jobs) {
+        assert_eq!(
+            a.status.outcome().unwrap().cut.value,
+            b.status.outcome().unwrap().cut.value
+        );
+    }
+    let cs = service.cache_stats();
+    assert_eq!((cs.hits, cs.insertions, cs.entries), (64, 64, 64));
+}

@@ -137,6 +137,38 @@ pub fn capforest<P: MaxPq>(
     }
 }
 
+/// Largest bound the bucket queues accept: they allocate Θ(bound) slots,
+/// so passes with a larger bound fall back to the binary heap.
+pub(crate) const MAX_BUCKET_BOUND: EdgeWeight = 1 << 26;
+
+/// One scan pass through a [`mincut_ds::CountingPq`]-wrapped queue of the
+/// requested kind, so every driver (NOI, Matula) shares the same
+/// bound-capped dispatch and feeds the thread-local PQ-operation counters
+/// the session API harvests into `SolverStats`. Unbounded passes
+/// (`bounded == false`) require the heap.
+pub(crate) fn counting_capforest(
+    g: &CsrGraph,
+    bound: EdgeWeight,
+    start: NodeId,
+    pq: mincut_ds::PqKind,
+    bounded: bool,
+) -> CapforestOutcome {
+    use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
+    if !bounded {
+        return capforest::<CountingPq<BinaryHeapPq>>(g, bound, start, false);
+    }
+    match pq {
+        PqKind::BStack if bound <= MAX_BUCKET_BOUND => {
+            capforest::<CountingPq<BStackPq>>(g, bound, start, true)
+        }
+        PqKind::BQueue if bound <= MAX_BUCKET_BOUND => {
+            capforest::<CountingPq<BQueuePq>>(g, bound, start, true)
+        }
+        // Heap, or a bound too large for bucket arrays.
+        _ => capforest::<CountingPq<BinaryHeapPq>>(g, bound, start, true),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

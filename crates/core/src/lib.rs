@@ -62,6 +62,30 @@
 //! assert_eq!(err, MinCutError::TooFewVertices { n: 1 });
 //! ```
 //!
+//! ## The batch serving layer
+//!
+//! [`MinCutService`] serves many `(graph, solver, options)` jobs at once:
+//! batches run concurrently on self-scheduling workers, results are
+//! memoised in a [`CsrGraph::fingerprint`]-keyed cut cache so repeat
+//! submissions never re-solve, and jobs sharing a graph or a declared
+//! family reuse the best cut found so far as their initial λ̂ bound (see
+//! the [`service`] module docs):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mincut_core::{BatchJob, MinCutService, ServiceConfig};
+//! use mincut_graph::CsrGraph;
+//!
+//! let g = Arc::new(CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]));
+//! let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+//! let report = service.run_batch(&[
+//!     BatchJob::new(g.clone(), "noi-viecut"),
+//!     BatchJob::new(g.clone(), "noi-viecut"), // served from the cut cache
+//! ]);
+//! assert!(report.all_ok());
+//! assert_eq!(report.stats.cache_hits, 1);
+//! ```
+//!
 //! The enum-based front door of earlier versions remains as a thin shim:
 //!
 //! ```
@@ -83,6 +107,7 @@ mod options;
 pub mod parallel;
 mod partition;
 mod registry;
+pub mod service;
 mod solver;
 mod stats;
 pub mod stoer_wagner;
@@ -93,8 +118,12 @@ pub use mincut_ds::PqKind;
 pub use options::SolveOptions;
 pub use partition::Membership;
 pub use registry::{SolverEntry, SolverRegistry};
+pub use service::{
+    BatchJob, BatchReport, BatchStats, CacheStats, ErrorPolicy, JobReport, JobStatus,
+    MinCutService, ServiceConfig,
+};
 pub use solver::{Capabilities, Guarantee, Session, SolveOutcome, Solver};
-pub use stats::{PhaseTiming, SolveContext, SolverStats};
+pub use stats::{json_string, PhaseTiming, SolveContext, SolverStats};
 
 use mincut_graph::{CsrGraph, EdgeWeight};
 

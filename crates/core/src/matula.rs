@@ -9,12 +9,12 @@
 //! that extension: it reuses the bounded CAPFOREST machinery (and
 //! therefore any of the three priority queues).
 
-use mincut_ds::{BinaryHeapPq, PqKind};
+use mincut_ds::PqKind;
 use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::capforest::capforest;
+use crate::capforest::counting_capforest;
 use crate::error::MinCutError;
 use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
@@ -112,7 +112,7 @@ pub(crate) fn matula_approx_connected(
         let sigma = ((delta as f64) / (2.0 + cfg.epsilon)).ceil() as EdgeWeight;
         let sigma = sigma.max(1);
         let start = rng.gen_range(0..current.n() as NodeId);
-        let out = capforest::<mincut_ds::CountingPq<BinaryHeapPq>>(&current, sigma, start, true);
+        let out = counting_capforest(&current, sigma, start, cfg.pq, true);
         // Prefix cuts seen by the scan are real cuts; they can only help.
         // (out.lambda_hat below σ without a witness never happens, but
         // out.lambda_hat == σ < best is NOT an improvement — σ is a
@@ -158,6 +158,30 @@ pub(crate) fn matula_approx_connected(
 mod tests {
     use super::*;
     use mincut_graph::generators::known;
+
+    #[test]
+    fn every_queue_kind_scans_and_respects_the_guarantee() {
+        // Regression: the scan used to hardcode the binary heap and
+        // silently ignore `MatulaConfig::pq`.
+        let (g, l) = known::two_communities(10, 11, 2, 2, 1);
+        for pq in PqKind::ALL {
+            let r = matula_approx(
+                &g,
+                &MatulaConfig {
+                    pq,
+                    ..Default::default()
+                },
+            );
+            assert!(r.value >= l, "{pq}");
+            let bound = ((2.0 + 0.5) * l as f64).floor() as EdgeWeight;
+            assert!(r.value <= bound, "{pq}: (2+ε) violated");
+            let side = r.side.unwrap();
+            assert!(
+                g.is_proper_cut(&side) && g.cut_value(&side) == r.value,
+                "{pq}"
+            );
+        }
+    }
 
     fn check_approx(g: &CsrGraph, lambda: EdgeWeight, epsilon: f64) {
         let r = matula_approx(

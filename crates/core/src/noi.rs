@@ -13,23 +13,17 @@
 //!   instead of the minimum-degree bound (§3.1.1), which unlocks far more
 //!   contractions per pass.
 
-use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
+use mincut_ds::PqKind;
 use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::capforest::{capforest, CapforestOutcome};
+use crate::capforest::{counting_capforest, CapforestOutcome};
 use crate::error::MinCutError;
 use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::MinCutResult;
-
-/// Bucket queues hold `λ̂ + 1` buckets; above this bound the driver falls
-/// back to the heap for the affected pass to avoid absurd allocations
-/// (only reachable with large weighted degrees; the paper's instances are
-/// unweighted so bounds stay small).
-const MAX_BUCKET_BOUND: EdgeWeight = 1 << 26;
 
 /// Configuration for [`noi_minimum_cut`].
 #[derive(Clone, Debug)]
@@ -215,24 +209,10 @@ pub(crate) fn noi_minimum_cut_connected(
     })
 }
 
-// Scans run through [`CountingPq`] so every pass feeds the thread-local
-// PQ-operation counters the session API harvests into `SolverStats`.
+// One bound-capped counting scan; dispatch shared with Matula in
+// [`crate::capforest::counting_capforest`].
 fn run_pass(g: &CsrGraph, lambda: EdgeWeight, start: NodeId, cfg: &NoiConfig) -> CapforestOutcome {
-    if !cfg.bounded {
-        // Unbounded priorities require the heap.
-        return capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, false);
-    }
-    match cfg.pq {
-        PqKind::Heap => capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, true),
-        PqKind::BStack if lambda <= MAX_BUCKET_BOUND => {
-            capforest::<CountingPq<BStackPq>>(g, lambda, start, true)
-        }
-        PqKind::BQueue if lambda <= MAX_BUCKET_BOUND => {
-            capforest::<CountingPq<BQueuePq>>(g, lambda, start, true)
-        }
-        // Bound too large for bucket arrays: use the heap for this pass.
-        _ => capforest::<CountingPq<BinaryHeapPq>>(g, lambda, start, true),
-    }
+    counting_capforest(g, lambda, start, cfg.pq, cfg.bounded)
 }
 
 #[cfg(test)]

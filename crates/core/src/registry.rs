@@ -151,7 +151,7 @@ impl SolverRegistry {
                 canonical: "NOI-HNSS",
                 aliases: &["noi-hnss", "hnss"],
                 summary: "NOI with an unbounded binary heap (Henzinger-Noe-Schulz-Strash baseline)",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, true),
                 ctor: |_| {
                     Box::new(NoiSolver {
                         bounded: false,
@@ -166,7 +166,7 @@ impl SolverRegistry {
                 canonical: "NOI-CGKLS",
                 aliases: &["noi-cgkls"],
                 summary: "NOI comparator with deterministic start selection (Chekuri et al. style)",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, true),
                 ctor: |_| {
                     Box::new(NoiSolver {
                         bounded: false,
@@ -181,7 +181,7 @@ impl SolverRegistry {
                 canonical: "NOI-HNSS-VieCut",
                 aliases: &["noi-hnss-viecut"],
                 summary: "NOI-HNSS seeded with the VieCut bound",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, true),
                 ctor: |_| {
                     Box::new(NoiSolver {
                         bounded: false,
@@ -196,7 +196,7 @@ impl SolverRegistry {
                 canonical: "NOIλ̂",
                 aliases: &["noi", "noi-bounded"],
                 summary: "NOI with priorities capped at λ̂ (§3.1.2); queue from options or name",
-                caps: caps_exact(true, false),
+                caps: caps_exact(true, false, true),
                 ctor: |pin| {
                     Box::new(NoiSolver {
                         bounded: true,
@@ -212,7 +212,7 @@ impl SolverRegistry {
                 aliases: &["noi-viecut"],
                 summary:
                     "NOIλ̂ seeded with the VieCut bound — the paper's fastest sequential variant",
-                caps: caps_exact(true, false),
+                caps: caps_exact(true, false, true),
                 ctor: |pin| {
                     Box::new(NoiSolver {
                         bounded: true,
@@ -233,6 +233,7 @@ impl SolverRegistry {
                     witness: true,
                     uses_pq: true,
                     randomized_value: false,
+                    uses_initial_bound: false,
                 },
                 ctor: |pin| Box::new(ParCutSolver { pin_pq: pin }),
             },
@@ -240,21 +241,21 @@ impl SolverRegistry {
                 canonical: "StoerWagner",
                 aliases: &["stoer-wagner", "sw"],
                 summary: "Stoer-Wagner comparator (n-1 maximum-adjacency phases)",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, false),
                 ctor: |_| Box::new(StoerWagnerSolver),
             },
             SolverEntry {
                 canonical: "HO-CGKLS",
                 aliases: &["hao-orlin", "ho"],
                 summary: "Hao-Orlin flow-based comparator",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, false),
                 ctor: |_| Box::new(HaoOrlinSolver),
             },
             SolverEntry {
                 canonical: "GomoryHu",
                 aliases: &["gomory-hu"],
                 summary: "Gomory-Hu cut tree (n-1 max-flows; yields all pairwise min cuts)",
-                caps: caps_exact(false, false),
+                caps: caps_exact(false, false, false),
                 ctor: |_| Box::new(GomoryHuSolver),
             },
             SolverEntry {
@@ -267,6 +268,7 @@ impl SolverRegistry {
                     witness: true,
                     uses_pq: false,
                     randomized_value: true,
+                    uses_initial_bound: false,
                 },
                 ctor: |_| Box::new(KargerSteinSolver),
             },
@@ -280,6 +282,7 @@ impl SolverRegistry {
                     witness: true,
                     uses_pq: false,
                     randomized_value: true,
+                    uses_initial_bound: false,
                 },
                 ctor: |_| Box::new(VieCutSolver),
             },
@@ -293,6 +296,7 @@ impl SolverRegistry {
                     witness: true,
                     uses_pq: true,
                     randomized_value: true,
+                    uses_initial_bound: false,
                 },
                 ctor: |pin| Box::new(MatulaSolver { pin_pq: pin }),
             },
@@ -301,13 +305,14 @@ impl SolverRegistry {
     }
 }
 
-fn caps_exact(uses_pq: bool, parallel: bool) -> Capabilities {
+fn caps_exact(uses_pq: bool, parallel: bool, uses_initial_bound: bool) -> Capabilities {
     Capabilities {
         guarantee: Guarantee::Exact,
         parallel,
         witness: true,
         uses_pq,
         randomized_value: false,
+        uses_initial_bound,
     }
 }
 
@@ -351,7 +356,7 @@ impl Solver for NoiSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        caps_exact(self.bounded, false)
+        caps_exact(self.bounded, false, true)
     }
 
     fn instance_name(&self, opts: &SolveOptions) -> String {
@@ -434,6 +439,7 @@ impl Solver for ParCutSolver {
             witness: true,
             uses_pq: true,
             randomized_value: false,
+            uses_initial_bound: false,
         }
     }
 
@@ -467,7 +473,7 @@ impl Solver for StoerWagnerSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        caps_exact(false, false)
+        caps_exact(false, false, false)
     }
 
     fn run(
@@ -492,7 +498,7 @@ impl Solver for HaoOrlinSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        caps_exact(false, false)
+        caps_exact(false, false, false)
     }
 
     fn run(
@@ -520,7 +526,7 @@ impl Solver for GomoryHuSolver {
     }
 
     fn capabilities(&self) -> Capabilities {
-        caps_exact(false, false)
+        caps_exact(false, false, false)
     }
 
     fn run(
@@ -555,6 +561,7 @@ impl Solver for KargerSteinSolver {
             witness: true,
             uses_pq: false,
             randomized_value: true,
+            uses_initial_bound: false,
         }
     }
 
@@ -591,6 +598,7 @@ impl Solver for VieCutSolver {
             witness: true,
             uses_pq: false,
             randomized_value: true,
+            uses_initial_bound: false,
         }
     }
 
@@ -625,11 +633,16 @@ impl Solver for MatulaSolver {
             witness: true,
             uses_pq: true,
             randomized_value: true,
+            uses_initial_bound: false,
         }
     }
 
     fn instance_name(&self, opts: &SolveOptions) -> String {
-        format!("Matula(ε={})", opts.epsilon)
+        format!(
+            "Matula(ε={}, {})",
+            opts.epsilon,
+            self.pin_pq.unwrap_or(opts.pq)
+        )
     }
 
     fn run(

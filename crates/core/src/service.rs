@@ -1,0 +1,982 @@
+//! [`MinCutService`]: the batch serving layer over the [`Session`] API.
+//!
+//! The paper's evaluation (§4) sweeps many instances × algorithm
+//! configurations; a serving deployment sees the same shape of traffic —
+//! bursts of `(graph, solver, options)` jobs, many of them repeats or
+//! close relatives of each other. This module turns the one-graph
+//! [`Session`](crate::Session) into a multi-query service:
+//!
+//! * **Batching** — a batch of [`BatchJob`]s runs concurrently on a pool
+//!   of self-scheduling workers ([`ServiceConfig::concurrency`]); slow
+//!   jobs don't serialise the queue because workers pull the next index
+//!   from a shared atomic cursor rather than owning a static slice.
+//! * **Caching** — results are memoised in a fingerprint-keyed cut
+//!   cache built on [`mincut_ds::ShardedMap`] (the §3.2 concurrent-table
+//!   design): the key is [`CsrGraph::fingerprint`] plus the resolved
+//!   solver instance configuration, so a repeat submission is served
+//!   without re-solving. The cache persists across batches for the
+//!   lifetime of the service.
+//! * **Bound sharing** — jobs that share a graph (same fingerprint) or a
+//!   declared [`BatchJob::family`] reuse the best cut found so far as
+//!   [`SolveOptions::initial_bound`] for later jobs, the paper's λ̂
+//!   seeding (§3.1.1) applied across a whole sweep. Cross-graph family
+//!   bounds are re-evaluated on the receiving graph before use
+//!   (`cut_value` of the witness side), so exactness is never lost.
+//! * **Budgets and policies** — an optional per-batch wall-clock budget
+//!   clamps every job's [`SolveOptions::time_budget`] to the remaining
+//!   batch time; [`ErrorPolicy::FailFast`] skips the rest of a batch
+//!   after the first failure, [`ErrorPolicy::Continue`] reports per-job
+//!   outcomes independently.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mincut_core::{BatchJob, MinCutService, ServiceConfig, SolveOptions};
+//! use mincut_graph::CsrGraph;
+//!
+//! let g = Arc::new(CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 1), (2, 3, 2), (3, 0, 1)]));
+//! // One worker makes the cache-hit count deterministic for this doc
+//! // test; concurrent identical jobs may race the first insertion.
+//! let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+//! let jobs = vec![
+//!     BatchJob::new(g.clone(), "noi-viecut"),
+//!     BatchJob::new(g.clone(), "stoer-wagner"),
+//!     BatchJob::new(g.clone(), "noi-viecut"), // repeat: served from cache
+//! ];
+//! let report = service.run_batch(&jobs);
+//! assert!(report.all_ok());
+//! assert_eq!(report.stats.cache_hits, 1);
+//! for job in &report.jobs {
+//!     assert_eq!(job.status.outcome().unwrap().cut.value, 2);
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mincut_ds::ShardedMap;
+use mincut_graph::{CsrGraph, EdgeWeight};
+
+use crate::error::MinCutError;
+use crate::options::SolveOptions;
+use crate::solver::SolveOutcome;
+use crate::stats::SolverStats;
+use crate::{MinCutResult, SolverRegistry};
+
+/// One unit of work for [`MinCutService::run_batch`]: a graph, a solver
+/// name (any registry spelling) and the options to run it under.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The instance; `Arc` so sweeps over one graph share storage.
+    pub graph: Arc<CsrGraph>,
+    /// Registry spelling: canonical (`NOIλ̂-VieCut`), alias
+    /// (`noi-viecut`) or queue-pinned (`noi-bstack-viecut`).
+    pub solver: String,
+    pub opts: SolveOptions,
+    /// Bound-sharing group. Jobs with the same family feed each other's
+    /// [`SolveOptions::initial_bound`]; unset, jobs still share bounds
+    /// with same-graph jobs (keyed by fingerprint).
+    pub family: Option<String>,
+    /// Caller-chosen display name carried into the [`JobReport`]
+    /// (defaults to the job index).
+    pub label: Option<String>,
+}
+
+impl BatchJob {
+    pub fn new(graph: impl Into<Arc<CsrGraph>>, solver: impl Into<String>) -> Self {
+        BatchJob {
+            graph: graph.into(),
+            solver: solver.into(),
+            opts: SolveOptions::default(),
+            family: None,
+            label: None,
+        }
+    }
+
+    /// Replaces the job options (builder-style).
+    pub fn options(mut self, opts: SolveOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    pub fn family(mut self, family: impl Into<String>) -> Self {
+        self.family = Some(family.into());
+        self
+    }
+
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+/// What a batch does after a job fails.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// Every job runs; failures are reported per job.
+    #[default]
+    Continue,
+    /// Jobs not yet started when a failure lands are skipped.
+    FailFast,
+}
+
+/// Tuning knobs of a [`MinCutService`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads pulling jobs from the batch queue; 0 means all
+    /// available cores. Each job may additionally use its own
+    /// [`SolveOptions::threads`] for the parallel solvers.
+    pub concurrency: usize,
+    pub error_policy: ErrorPolicy,
+    /// Wall-clock budget for a whole batch. Running jobs have their
+    /// per-job budgets clamped to the remaining batch time; jobs that
+    /// start after it expires are skipped.
+    pub batch_budget: Option<Duration>,
+    /// Serve repeat submissions from the fingerprint-keyed cut cache.
+    pub cache: bool,
+    /// Entry cap for the cut cache: once reached, new results are no
+    /// longer memoised (existing entries keep serving) so a long-lived
+    /// service fed a stream of distinct graphs cannot grow without
+    /// bound. [`MinCutService::clear_cache`] resets it.
+    pub cache_capacity: usize,
+    /// Reuse the best cut found so far as the initial bound of later
+    /// jobs in the same family / on the same graph.
+    pub share_bounds: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            concurrency: 0,
+            error_policy: ErrorPolicy::Continue,
+            batch_budget: None,
+            cache: true,
+            cache_capacity: 1 << 16,
+            share_bounds: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn concurrency(mut self, workers: usize) -> Self {
+        self.concurrency = workers;
+        self
+    }
+
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.error_policy = policy;
+        self
+    }
+
+    pub fn batch_budget(mut self, budget: Duration) -> Self {
+        self.batch_budget = Some(budget);
+        self
+    }
+
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled;
+        self
+    }
+
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    pub fn share_bounds(mut self, enabled: bool) -> Self {
+        self.share_bounds = enabled;
+        self
+    }
+}
+
+/// Terminal state of one batch job.
+#[derive(Clone, Debug)]
+pub enum JobStatus {
+    /// Ran the solver; fresh result.
+    Solved(SolveOutcome),
+    /// Served from the cut cache without running a solver.
+    Cached(SolveOutcome),
+    Failed(MinCutError),
+    /// Never ran: fail-fast after an earlier failure, or the batch
+    /// budget expired before the job started.
+    Skipped {
+        reason: String,
+    },
+}
+
+impl JobStatus {
+    /// The outcome, if the job produced one (fresh or cached).
+    pub fn outcome(&self) -> Option<&SolveOutcome> {
+        match self {
+            JobStatus::Solved(o) | JobStatus::Cached(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.outcome().is_some()
+    }
+
+    pub fn from_cache(&self) -> bool {
+        matches!(self, JobStatus::Cached(_))
+    }
+
+    pub fn error(&self) -> Option<&MinCutError> {
+        match self {
+            JobStatus::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Per-job row of a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Index into the submitted batch (reports keep submission order).
+    pub index: usize,
+    /// [`BatchJob::label`], or the index rendered as text.
+    pub label: String,
+    /// Resolved instance name (e.g. `NOIλ̂-BQueue-VieCut`), or the
+    /// requested spelling when resolution itself failed.
+    pub solver: String,
+    pub status: JobStatus,
+    /// Wall-clock spent on this job inside the service (≈0 for cache
+    /// hits and skips).
+    pub seconds: f64,
+}
+
+/// Aggregate counters for one batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    pub jobs: usize,
+    /// Jobs solved by running a solver.
+    pub solved: usize,
+    /// Jobs served from the cut cache.
+    pub cache_hits: usize,
+    pub failed: usize,
+    pub skipped: usize,
+    /// Jobs that started with a bound donated by an earlier job.
+    pub bound_reuses: usize,
+    /// Worker threads the batch ran on.
+    pub concurrency: usize,
+    /// End-to-end wall-clock of the batch.
+    pub wall_seconds: f64,
+    /// Sum of per-job solve times (> `wall_seconds` when batching wins).
+    pub solver_seconds: f64,
+}
+
+impl BatchStats {
+    /// Serialises the report as a single JSON object (the offline build
+    /// has no JSON crate, mirroring [`SolverStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"solved\":{},\"cache_hits\":{},\"failed\":{},\"skipped\":{},\
+             \"bound_reuses\":{},\"concurrency\":{},\"wall_seconds\":{:.9},\
+             \"solver_seconds\":{:.9}}}",
+            self.jobs,
+            self.solved,
+            self.cache_hits,
+            self.failed,
+            self.skipped,
+            self.bound_reuses,
+            self.concurrency,
+            self.wall_seconds,
+            self.solver_seconds
+        )
+    }
+}
+
+/// Everything [`MinCutService::run_batch`] returns: per-job rows in
+/// submission order plus the aggregate counters.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    pub jobs: Vec<JobReport>,
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// Whether every job produced an outcome (none failed or skipped).
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.status.is_ok())
+    }
+
+    /// Cut values in submission order (`None` for failed/skipped jobs).
+    pub fn values(&self) -> Vec<Option<EdgeWeight>> {
+        self.jobs
+            .iter()
+            .map(|j| j.status.outcome().map(|o| o.cut.value))
+            .collect()
+    }
+}
+
+/// Cumulative cut-cache counters (lifetime of the service).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub entries: usize,
+}
+
+/// The memoised result of one (graph, solver configuration) pair.
+///
+/// The stored fingerprint/config reject collisions of the *derived*
+/// 64-bit map key; `n`/`m` additionally guard against a collision of the
+/// fingerprint itself (FNV-1a is not cryptographic — two distinct graphs
+/// of equal size colliding is astronomically unlikely for benign inputs
+/// but cheap to narrow further).
+#[derive(Clone)]
+struct CacheEntry {
+    fingerprint: u64,
+    config: String,
+    n: usize,
+    m: usize,
+    value: EdgeWeight,
+    side: Option<Vec<bool>>,
+}
+
+struct CutCache {
+    map: ShardedMap<u64, CacheEntry>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl CutCache {
+    fn new() -> Self {
+        CutCache {
+            map: ShardedMap::new(6),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn key(fingerprint: u64, config: &str) -> u64 {
+        // FNV-1a over the config string, folded into the fingerprint.
+        mincut_ds::hash::fnv1a_bytes(
+            fingerprint ^ mincut_ds::hash::FNV1A_OFFSET,
+            config.as_bytes(),
+        )
+    }
+
+    fn lookup(
+        &self,
+        fingerprint: u64,
+        config: &str,
+        g: &CsrGraph,
+    ) -> Option<(EdgeWeight, Option<Vec<bool>>)> {
+        let found = self
+            .map
+            .get_cloned(&Self::key(fingerprint, config))
+            .filter(|e| {
+                e.fingerprint == fingerprint && e.config == config && e.n == g.n() && e.m == g.m()
+            })
+            .map(|e| (e.value, e.side));
+        match found {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(
+        &self,
+        fingerprint: u64,
+        config: &str,
+        g: &CsrGraph,
+        value: EdgeWeight,
+        side: Option<Vec<bool>>,
+        capacity: usize,
+    ) {
+        // Soft cap (concurrent inserts may overshoot by a few entries):
+        // a full cache stops memoising instead of growing unboundedly.
+        if self.map.len() >= capacity {
+            return;
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        let entry = CacheEntry {
+            fingerprint,
+            config: config.to_string(),
+            n: g.n(),
+            m: g.m(),
+            value,
+            side,
+        };
+        self.map
+            .merge_insert(Self::key(fingerprint, config), entry, |slot, new| {
+                *slot = new
+            });
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.map.len(),
+        }
+    }
+}
+
+/// Best cut discovered so far within one bound-sharing group.
+#[derive(Clone)]
+struct SharedBound {
+    value: EdgeWeight,
+    side: Option<Arc<Vec<bool>>>,
+    /// Fingerprint and size of the graph the bound was found on:
+    /// sideless bounds only transfer to the graph they came from
+    /// (fingerprint + size match); sided bounds are always re-costed on
+    /// the receiving graph, so they are collision-proof by construction.
+    fingerprint: u64,
+    n: usize,
+    m: usize,
+}
+
+/// Mutable state shared by the workers of one running batch.
+struct BatchState<'a> {
+    jobs: &'a [BatchJob],
+    next: AtomicUsize,
+    results: Vec<Mutex<Option<JobReport>>>,
+    failed: AtomicBool,
+    bound_reuses: AtomicUsize,
+    bounds: Mutex<std::collections::HashMap<String, SharedBound>>,
+    deadline: Option<Instant>,
+}
+
+/// The batch serving layer: see the [module docs](self).
+pub struct MinCutService {
+    config: ServiceConfig,
+    cache: CutCache,
+}
+
+impl Default for MinCutService {
+    fn default() -> Self {
+        MinCutService::new(ServiceConfig::default())
+    }
+}
+
+impl MinCutService {
+    pub fn new(config: ServiceConfig) -> Self {
+        MinCutService {
+            config,
+            cache: CutCache::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Cumulative cache counters since the service was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every memoised result (counters are kept).
+    pub fn clear_cache(&self) {
+        let _ = self.cache.map.drain_into_vec();
+    }
+
+    /// Runs one job outside a batch (no skips, same cache and bounds).
+    pub fn run_one(&self, job: &BatchJob) -> JobReport {
+        self.run_batch(std::slice::from_ref(job))
+            .jobs
+            .pop()
+            .unwrap()
+    }
+
+    /// Runs a batch of jobs and reports per-job outcomes (in submission
+    /// order) plus aggregate [`BatchStats`].
+    pub fn run_batch(&self, jobs: &[BatchJob]) -> BatchReport {
+        let t0 = Instant::now();
+        let workers = match self.config.concurrency {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            w => w,
+        }
+        .min(jobs.len().max(1));
+
+        let state = BatchState {
+            jobs,
+            next: AtomicUsize::new(0),
+            results: (0..jobs.len()).map(|_| Mutex::new(None)).collect(),
+            failed: AtomicBool::new(false),
+            bound_reuses: AtomicUsize::new(0),
+            bounds: Mutex::new(std::collections::HashMap::new()),
+            deadline: self.config.batch_budget.map(|b| t0 + b),
+        };
+
+        if workers <= 1 {
+            self.work(&state);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| self.work(&state));
+                }
+            });
+        }
+
+        let mut reports = Vec::with_capacity(jobs.len());
+        for slot in &state.results {
+            reports.push(slot.lock().unwrap().take().expect("every job reported"));
+        }
+        let mut stats = BatchStats {
+            jobs: jobs.len(),
+            concurrency: workers,
+            bound_reuses: state.bound_reuses.load(Ordering::Relaxed),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            ..Default::default()
+        };
+        for r in &reports {
+            stats.solver_seconds += r.seconds;
+            match &r.status {
+                JobStatus::Solved(_) => stats.solved += 1,
+                JobStatus::Cached(_) => stats.cache_hits += 1,
+                JobStatus::Failed(_) => stats.failed += 1,
+                JobStatus::Skipped { .. } => stats.skipped += 1,
+            }
+        }
+        BatchReport {
+            jobs: reports,
+            stats,
+        }
+    }
+
+    /// Worker loop: pull the next unclaimed job index until the queue is
+    /// drained.
+    fn work(&self, state: &BatchState<'_>) {
+        loop {
+            let i = state.next.fetch_add(1, Ordering::Relaxed);
+            if i >= state.jobs.len() {
+                return;
+            }
+            let report = self.execute(i, &state.jobs[i], state);
+            if matches!(report.status, JobStatus::Failed(_)) {
+                state.failed.store(true, Ordering::Relaxed);
+            }
+            *state.results[i].lock().unwrap() = Some(report);
+        }
+    }
+
+    fn execute(&self, index: usize, job: &BatchJob, state: &BatchState<'_>) -> JobReport {
+        let t0 = Instant::now();
+        let label = job.label.clone().unwrap_or_else(|| format!("job-{index}"));
+        let report = |solver: String, status: JobStatus, t0: Instant| JobReport {
+            index,
+            label: label.clone(),
+            solver,
+            status,
+            seconds: t0.elapsed().as_secs_f64(),
+        };
+
+        if self.config.error_policy == ErrorPolicy::FailFast && state.failed.load(Ordering::Relaxed)
+        {
+            return report(
+                job.solver.clone(),
+                JobStatus::Skipped {
+                    reason: "fail-fast: an earlier job in the batch failed".into(),
+                },
+                t0,
+            );
+        }
+
+        // Clamp the job budget to the remaining batch budget.
+        let mut opts = job.opts.clone();
+        if let Some(deadline) = state.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return report(
+                    job.solver.clone(),
+                    JobStatus::Skipped {
+                        reason: "batch time budget exhausted".into(),
+                    },
+                    t0,
+                );
+            }
+            opts.time_budget = Some(opts.time_budget.map_or(remaining, |b| b.min(remaining)));
+        }
+
+        let solver = match SolverRegistry::global().resolve(&job.solver) {
+            Ok(s) => s,
+            Err(e) => return report(job.solver.clone(), JobStatus::Failed(e), t0),
+        };
+        let instance = solver.instance_name(&opts);
+        let g = job.graph.as_ref();
+
+        let needs_fingerprint = self.config.cache || self.config.share_bounds;
+        let fingerprint = if needs_fingerprint {
+            g.fingerprint()
+        } else {
+            0
+        };
+        // Bounds are tracked per graph (fingerprint group) and, when the
+        // job declares one, per family — so a cross-graph family bound
+        // never shadows an exact same-graph one.
+        let fp_group = format!("fp:{fingerprint:016x}");
+        // The cache key is the resolved instance name (which encodes the
+        // queue, thread count, ε, repetitions) plus the fields that can
+        // change the result independently of the name.
+        let config_key = format!("{instance}|seed={}|witness={}", opts.seed, opts.witness);
+
+        if self.config.cache {
+            if let Some((value, side)) = self.cache.lookup(fingerprint, &config_key, g) {
+                if self.config.share_bounds {
+                    self.offer_bound(state, &fp_group, job, value, side.clone(), fingerprint);
+                }
+                let mut stats = SolverStats::new(instance.clone(), g.n(), g.m());
+                stats.record_lambda(value);
+                stats.total_seconds = t0.elapsed().as_secs_f64();
+                let cut = MinCutResult {
+                    value,
+                    side: if opts.witness { side } else { None },
+                };
+                return report(instance, JobStatus::Cached(SolveOutcome { cut, stats }), t0);
+            }
+        }
+
+        // Only the NOI family reads `initial_bound`; donating a bound to
+        // anyone else would cost an O(m) re-cost and inflate the
+        // bound-reuse telemetry without affecting the solve.
+        if self.config.share_bounds && solver.capabilities().uses_initial_bound {
+            self.adopt_bound(state, &fp_group, job, g, fingerprint, &mut opts);
+        }
+
+        match solver.solve(g, &opts) {
+            Ok(outcome) => {
+                if self.config.cache {
+                    self.cache.insert(
+                        fingerprint,
+                        &config_key,
+                        g,
+                        outcome.cut.value,
+                        outcome.cut.side.clone(),
+                        self.config.cache_capacity,
+                    );
+                }
+                if self.config.share_bounds {
+                    self.offer_bound(
+                        state,
+                        &fp_group,
+                        job,
+                        outcome.cut.value,
+                        outcome.cut.side.clone(),
+                        fingerprint,
+                    );
+                }
+                report(instance, JobStatus::Solved(outcome), t0)
+            }
+            Err(e) => report(instance, JobStatus::Failed(e), t0),
+        }
+    }
+
+    /// Publishes a finished cut into its bound-sharing groups (the graph's
+    /// fingerprint group, plus the declared family) where it beats the
+    /// best recorded so far.
+    fn offer_bound(
+        &self,
+        state: &BatchState<'_>,
+        fp_group: &str,
+        job: &BatchJob,
+        value: EdgeWeight,
+        side: Option<Vec<bool>>,
+        fingerprint: u64,
+    ) {
+        let side = side.map(Arc::new);
+        let mut bounds = state.bounds.lock().unwrap();
+        for group in [Some(fp_group), job.family.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            let better = bounds.get(group).is_none_or(|b| value < b.value);
+            if better {
+                bounds.insert(
+                    group.to_string(),
+                    SharedBound {
+                        value,
+                        side: side.clone(),
+                        fingerprint,
+                        n: job.graph.n(),
+                        m: job.graph.m(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Seeds `opts.initial_bound` from the best cut of the graph's own
+    /// fingerprint group (preferred) or the declared family, if that is
+    /// sound for this job's graph:
+    ///
+    /// * bounds carrying a witness side are always re-costed here with
+    ///   [`CsrGraph::cut_value`] — the injected bound is the value of an
+    ///   actual cut of *this* graph by construction, so exactness is
+    ///   preserved even across graphs (and even under a fingerprint
+    ///   collision). For a genuinely identical graph the re-cost equals
+    ///   the stored value;
+    /// * sideless bounds (witness-off donors) cannot be re-validated, so
+    ///   they transfer only to a graph with the same fingerprint *and*
+    ///   size, and only into witness-off runs.
+    fn adopt_bound(
+        &self,
+        state: &BatchState<'_>,
+        fp_group: &str,
+        job: &BatchJob,
+        g: &CsrGraph,
+        fingerprint: u64,
+        opts: &mut SolveOptions,
+    ) {
+        let bound = {
+            let bounds = state.bounds.lock().unwrap();
+            match bounds
+                .get(fp_group)
+                .or_else(|| job.family.as_deref().and_then(|f| bounds.get(f)))
+            {
+                Some(b) => b.clone(),
+                None => return,
+            }
+        };
+        let candidate: Option<(EdgeWeight, Option<Vec<bool>>)> = match &bound.side {
+            Some(side) if side.len() == g.n() && g.is_proper_cut(side) => {
+                Some((g.cut_value(side), Some(side.as_ref().clone())))
+            }
+            Some(_) => None,
+            None if !opts.witness
+                && bound.fingerprint == fingerprint
+                && (bound.n, bound.m) == (g.n(), g.m()) =>
+            {
+                Some((bound.value, None))
+            }
+            None => None,
+        };
+        let Some((value, side)) = candidate else {
+            return;
+        };
+        let improves = match &opts.initial_bound {
+            Some((existing, _)) => value < *existing,
+            None => true,
+        };
+        if improves {
+            opts.initial_bound = Some((value, side));
+            state.bound_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+
+    fn graphs() -> Vec<(Arc<CsrGraph>, EdgeWeight)> {
+        vec![
+            {
+                let (g, l) = known::two_communities(8, 9, 2, 2, 1);
+                (Arc::new(g), l)
+            },
+            {
+                let (g, l) = known::ring_of_cliques(5, 5, 2, 1);
+                (Arc::new(g), l)
+            },
+            {
+                let (g, l) = known::cycle_graph(9, 3);
+                (Arc::new(g), l)
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_matches_serial_session_loop() {
+        for concurrency in [1, 4] {
+            let service = MinCutService::new(ServiceConfig::new().concurrency(concurrency));
+            let jobs: Vec<BatchJob> = graphs()
+                .into_iter()
+                .flat_map(|(g, _)| {
+                    ["noi-viecut", "stoer-wagner", "parcut"]
+                        .into_iter()
+                        .map(move |s| {
+                            BatchJob::new(g.clone(), s)
+                                .options(SolveOptions::new().seed(3).threads(2))
+                        })
+                })
+                .collect();
+            let report = service.run_batch(&jobs);
+            assert!(report.all_ok());
+            assert_eq!(report.stats.jobs, jobs.len());
+            for (job, row) in jobs.iter().zip(&report.jobs) {
+                let serial = crate::Session::new(&job.graph)
+                    .options(job.opts.clone())
+                    .run(&job.solver)
+                    .unwrap();
+                assert_eq!(
+                    row.status.outcome().unwrap().cut.value,
+                    serial.cut.value,
+                    "{}",
+                    row.solver
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_submissions_hit_the_cache() {
+        // One worker: identical jobs running concurrently could all miss
+        // the not-yet-filled cache, making hit counts nondeterministic.
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, l) = known::two_communities(8, 8, 2, 2, 1);
+        let jobs = vec![BatchJob::new(g, "noi-viecut"); 3];
+        let first = service.run_batch(&jobs);
+        assert_eq!(first.stats.solved, 1);
+        assert_eq!(first.stats.cache_hits, 2, "in-batch repeats are served");
+        let second = service.run_batch(&jobs);
+        assert_eq!(second.stats.solved, 0);
+        assert_eq!(second.stats.cache_hits, 3, "cross-batch repeats are served");
+        for row in first.jobs.iter().chain(&second.jobs) {
+            let o = row.status.outcome().unwrap();
+            assert_eq!(o.cut.value, l);
+            assert!(o.cut.verify(&jobs[0].graph), "{}", row.label);
+        }
+        let cs = service.cache_stats();
+        assert_eq!(cs.hits, 5);
+        assert_eq!(cs.insertions, 1);
+        assert_eq!(cs.entries, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_configurations_and_graphs() {
+        let service = MinCutService::default();
+        let (a, _) = known::cycle_graph(8, 2);
+        let (b, _) = known::cycle_graph(9, 2);
+        let a = Arc::new(a);
+        let jobs = vec![
+            BatchJob::new(a.clone(), "noi-viecut"),
+            BatchJob::new(a.clone(), "stoer-wagner"),
+            BatchJob::new(a.clone(), "noi-viecut").options(SolveOptions::new().seed(9)),
+            BatchJob::new(b, "noi-viecut"),
+        ];
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        assert_eq!(report.stats.cache_hits, 0, "four distinct cache keys");
+        assert_eq!(service.cache_stats().entries, 4);
+    }
+
+    #[test]
+    fn same_graph_jobs_share_bounds() {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1).cache(false));
+        let (g, l) = known::two_communities(10, 10, 2, 2, 1);
+        let g = Arc::new(g);
+        let jobs = vec![
+            BatchJob::new(g.clone(), "stoer-wagner"),
+            BatchJob::new(g.clone(), "noi"),
+            BatchJob::new(g.clone(), "noi-heap"),
+        ];
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        assert!(
+            report.stats.bound_reuses >= 1,
+            "later same-graph jobs must adopt the first job's cut"
+        );
+        for row in &report.jobs {
+            assert_eq!(row.status.outcome().unwrap().cut.value, l);
+        }
+    }
+
+    #[test]
+    fn cross_graph_family_bounds_are_recosted_and_exact() {
+        // A family sweep over *different* graphs: the donated side is
+        // re-costed on the receiving graph, so values stay exact even
+        // though the graphs disagree about the cut's weight.
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1).cache(false));
+        let (light, l_light) = known::two_communities(8, 8, 2, 2, 1);
+        let (heavy, l_heavy) = known::two_communities(8, 8, 2, 2, 5);
+        let jobs = vec![
+            BatchJob::new(light, "stoer-wagner").family("sweep"),
+            BatchJob::new(heavy, "noi").family("sweep"),
+        ];
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        assert_eq!(report.jobs[0].status.outcome().unwrap().cut.value, l_light);
+        assert_eq!(report.jobs[1].status.outcome().unwrap().cut.value, l_heavy);
+    }
+
+    #[test]
+    fn fail_fast_skips_the_rest_and_continue_does_not() {
+        let (good, _) = known::cycle_graph(6, 1);
+        let good = Arc::new(good);
+        let bad = Arc::new(CsrGraph::from_edges(1, &[]));
+        let mk_jobs = || {
+            vec![
+                BatchJob::new(bad.clone(), "noi"),
+                BatchJob::new(good.clone(), "noi"),
+                BatchJob::new(good.clone(), "stoer-wagner"),
+            ]
+        };
+
+        let ff = MinCutService::new(
+            ServiceConfig::new()
+                .concurrency(1)
+                .error_policy(ErrorPolicy::FailFast),
+        );
+        let report = ff.run_batch(&mk_jobs());
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.skipped, 2);
+        assert!(matches!(
+            report.jobs[0].status.error(),
+            Some(MinCutError::TooFewVertices { n: 1 })
+        ));
+
+        let cont = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let report = cont.run_batch(&mk_jobs());
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.skipped, 0);
+        assert_eq!(report.stats.solved, 2);
+    }
+
+    #[test]
+    fn exhausted_batch_budget_skips_unstarted_jobs() {
+        let service = MinCutService::new(
+            ServiceConfig::new()
+                .concurrency(1)
+                .batch_budget(Duration::ZERO),
+        );
+        let (g, _) = known::cycle_graph(6, 1);
+        let report = service.run_batch(&[BatchJob::new(g, "noi")]);
+        assert_eq!(report.stats.skipped, 1);
+        assert!(matches!(
+            &report.jobs[0].status,
+            JobStatus::Skipped { reason } if reason.contains("budget")
+        ));
+    }
+
+    #[test]
+    fn cache_capacity_bounds_memoisation() {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1).cache_capacity(2));
+        let jobs: Vec<BatchJob> = (4..9)
+            .map(|n| BatchJob::new(known::cycle_graph(n, 1).0, "stoer-wagner"))
+            .collect();
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        let cs = service.cache_stats();
+        assert_eq!(cs.entries, 2, "cap reached: later results not memoised");
+        // The two memoised graphs still serve; the rest re-solve.
+        let again = service.run_batch(&jobs);
+        assert_eq!(again.stats.cache_hits, 2);
+        assert_eq!(again.stats.solved, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = MinCutService::default().run_batch(&[]);
+        assert_eq!(report.stats.jobs, 0);
+        assert!(report.all_ok());
+        assert!(report.stats.to_json().starts_with('{'));
+    }
+}

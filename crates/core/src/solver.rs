@@ -51,6 +51,10 @@ pub struct Capabilities {
     /// Output value may vary with [`SolveOptions::seed`] (inexact
     /// solvers; exact solvers return λ for every seed).
     pub randomized_value: bool,
+    /// Reads [`SolveOptions::initial_bound`] to seed λ̂ (the NOI family).
+    /// Drivers that donate bounds — the batch service's bound sharing —
+    /// skip solvers without this.
+    pub uses_initial_bound: bool,
 }
 
 /// A finished run: the cut and its telemetry.

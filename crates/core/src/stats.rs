@@ -146,8 +146,18 @@ impl SolverStats {
 fn push_json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
-    out.push_str("\":\"");
-    for c in value.chars() {
+    out.push_str("\":");
+    out.push_str(&json_string(value));
+    out.push(',');
+}
+
+/// Renders `s` as a quoted, escaped JSON string literal — the one
+/// escaper shared by every hand-rolled JSON emitter in the workspace
+/// (this offline build carries no JSON crate).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
@@ -158,7 +168,8 @@ fn push_json_str(out: &mut String, key: &str, value: &str) {
             c => out.push(c),
         }
     }
-    out.push_str("\",");
+    out.push('"');
+    out
 }
 
 /// Mutable run context threaded through the instrumented algorithm

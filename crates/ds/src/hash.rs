@@ -64,6 +64,29 @@ impl Hasher for FxHasher {
     }
 }
 
+/// FNV-1a offset basis: the canonical start value for [`fnv1a_bytes`].
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state. Stable across runs,
+/// platforms and processes — unlike [`FxHasher`] whose sole contract is
+/// in-process table distribution — so this is the hash for persistent
+/// identities (graph fingerprints, cache keys). Start from
+/// [`FNV1A_OFFSET`] and chain calls to hash multi-part keys.
+#[inline]
+pub fn fnv1a_bytes(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state = (state ^ b as u64).wrapping_mul(FNV1A_PRIME);
+    }
+    state
+}
+
+/// [`fnv1a_bytes`] over one little-endian `u64` word.
+#[inline]
+pub fn fnv1a_u64(state: u64, word: u64) -> u64 {
+    fnv1a_bytes(state, &word.to_le_bytes())
+}
+
 /// `BuildHasher` for [`FxHasher`]; plug into `HashMap::with_hasher`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -130,6 +130,26 @@ impl CsrGraph {
         self.weight.iter().sum::<EdgeWeight>() / 2
     }
 
+    /// Canonical 64-bit fingerprint of the graph: FNV-1a over the vertex
+    /// count and the normalised edge list `(u, v, w)` with `u < v` in
+    /// lexicographic order. Because the builder invariants make the CSR
+    /// form canonical (sorted adjacency, merged duplicates, no
+    /// self-loops), two graphs compare equal iff their fingerprints are
+    /// computed over identical streams — so the fingerprint is a stable,
+    /// process-independent cache key for result memoisation
+    /// (equal-by-value graphs collide on purpose; isomorphic but
+    /// relabelled graphs do not).
+    pub fn fingerprint(&self) -> u64 {
+        use mincut_ds::hash::{fnv1a_u64, FNV1A_OFFSET};
+        let mut h = fnv1a_u64(FNV1A_OFFSET, self.n() as u64);
+        for (u, v, w) in self.edges() {
+            h = fnv1a_u64(h, u as u64);
+            h = fnv1a_u64(h, v as u64);
+            h = fnv1a_u64(h, w);
+        }
+        h
+    }
+
     /// Minimum weighted degree and one vertex attaining it. The trivial cut
     /// `({v}, V∖{v})` of that vertex is the paper's initial upper bound λ̂.
     pub fn min_weighted_degree(&self) -> Option<(NodeId, EdgeWeight)> {
@@ -463,5 +483,27 @@ mod tests {
         assert_eq!(g.degree(2), 0);
         assert_eq!(g.weighted_degree(2), 0);
         assert_eq!(g.min_weighted_degree(), Some((2, 0)));
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_over_edge_order() {
+        // Same edge set in any insertion order (and with split duplicate
+        // weights) normalises to the same graph, hence one fingerprint.
+        let a = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 1), (2, 3, 4)]);
+        let b = CsrGraph::from_edges(4, &[(2, 3, 4), (1, 0, 2), (2, 1, 1)]);
+        let c = CsrGraph::from_edges(4, &[(0, 1, 1), (0, 1, 1), (1, 2, 1), (2, 3, 4)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_value_weight_and_size_changes() {
+        let base = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 1), (2, 3, 4)]);
+        let weight = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 2, 2), (2, 3, 4)]);
+        let shape = CsrGraph::from_edges(4, &[(0, 1, 2), (1, 3, 1), (2, 3, 4)]);
+        let bigger = CsrGraph::from_edges(5, &[(0, 1, 2), (1, 2, 1), (2, 3, 4)]);
+        assert_ne!(base.fingerprint(), weight.fingerprint());
+        assert_ne!(base.fingerprint(), shape.fingerprint());
+        assert_ne!(base.fingerprint(), bigger.fingerprint());
     }
 }

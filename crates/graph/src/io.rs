@@ -50,12 +50,26 @@ fn int_err(line: usize, e: ParseIntError) -> GraphIoError {
     parse_err(line, format!("invalid integer: {e}"))
 }
 
+/// Parses an unsigned token, reporting negative values explicitly —
+/// "invalid digit" is a baffling message for `-3` in a weight column.
+fn parse_unsigned(line: usize, token: &str, what: &str) -> Result<u64, GraphIoError> {
+    if token.starts_with('-') {
+        return Err(parse_err(
+            line,
+            format!("negative {what} {token} not allowed"),
+        ));
+    }
+    token.parse().map_err(|e| int_err(line, e))
+}
+
 /// Reads a METIS graph file.
 ///
 /// Header `n m [fmt]`; `fmt` ∈ {absent, 0, 1, 00, 01, …, 011}: only the
 /// edge-weight flag (last digit) and vertex-weight flag (middle digit) are
 /// supported, vertex weights are skipped. Vertex ids are 1-based; `%` lines
-/// are comments.
+/// are comments. Self-loops and negative values are parse errors — the
+/// solvers assume loop-free graphs, and silently dropping bad records
+/// would let corrupt instances through a serving pipeline unnoticed.
 pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
     let mut lines = reader.lines().enumerate();
     // Header.
@@ -72,16 +86,19 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
         }
     };
     let mut parts = header.split_whitespace();
-    let n: usize = parts
+    let n = parts
         .next()
-        .ok_or_else(|| parse_err(header_no, "missing vertex count"))?
-        .parse()
-        .map_err(|e| int_err(header_no, e))?;
-    let m: usize = parts
+        .ok_or_else(|| parse_err(header_no, "missing vertex count"))
+        .and_then(|t| parse_unsigned(header_no, t, "vertex count"))?;
+    if n > u32::MAX as u64 {
+        return Err(parse_err(header_no, "vertex count exceeds u32"));
+    }
+    let n = n as usize;
+    let m = parts
         .next()
-        .ok_or_else(|| parse_err(header_no, "missing edge count"))?
-        .parse()
-        .map_err(|e| int_err(header_no, e))?;
+        .ok_or_else(|| parse_err(header_no, "missing edge count"))
+        .and_then(|t| parse_unsigned(header_no, t, "edge count"))?
+        .min(usize::MAX as u64) as usize;
     let fmt = parts.next().unwrap_or("0");
     let has_edge_weights = fmt.ends_with('1');
     let has_vertex_weights = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
@@ -110,18 +127,27 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
                 .ok_or_else(|| parse_err(no + 1, "missing vertex weight"))?;
         }
         while let Some(nb) = tok.next() {
-            let nb: usize = nb.parse().map_err(|e| int_err(no + 1, e))?;
-            if nb == 0 || nb > n {
+            let nb = parse_unsigned(no + 1, nb, "vertex id")?;
+            // Range-check as u64 before narrowing: on 32-bit targets an
+            // `as usize` cast first would silently truncate huge ids.
+            if nb == 0 || nb > n as u64 {
                 return Err(parse_err(
                     no + 1,
                     format!("neighbour {nb} out of range 1..={n}"),
                 ));
             }
+            let nb = nb as usize;
+            if nb - 1 == vertex {
+                return Err(parse_err(
+                    no + 1,
+                    format!("self-loop on vertex {nb} not allowed"),
+                ));
+            }
             let w: EdgeWeight = if has_edge_weights {
-                tok.next()
-                    .ok_or_else(|| parse_err(no + 1, "missing edge weight"))?
-                    .parse()
-                    .map_err(|e| int_err(no + 1, e))?
+                let t = tok
+                    .next()
+                    .ok_or_else(|| parse_err(no + 1, "missing edge weight"))?;
+                parse_unsigned(no + 1, t, "edge weight")?
             } else {
                 1
             };
@@ -179,7 +205,8 @@ pub fn write_metis<W: Write>(g: &CsrGraph, mut writer: W) -> std::io::Result<()>
 
 /// Reads a whitespace-separated edge list: `u v [w]` per line, 0-based ids,
 /// `#` and `%` comments. The vertex count is `max id + 1` unless a larger
-/// `n` is given.
+/// `n` is given. Self-loops (`u == v`) and negative ids/weights are parse
+/// errors, matching the METIS reader's strictness.
 pub fn read_edge_list<R: BufRead>(
     reader: R,
     n_hint: Option<usize>,
@@ -193,22 +220,26 @@ pub fn read_edge_list<R: BufRead>(
             continue;
         }
         let mut tok = t.split_whitespace();
-        let u: u64 = tok
+        let u = tok
             .next()
-            .ok_or_else(|| parse_err(no + 1, "missing source"))?
-            .parse()
-            .map_err(|e| int_err(no + 1, e))?;
-        let v: u64 = tok
+            .ok_or_else(|| parse_err(no + 1, "missing source"))
+            .and_then(|t| parse_unsigned(no + 1, t, "vertex id"))?;
+        let v = tok
             .next()
-            .ok_or_else(|| parse_err(no + 1, "missing target"))?
-            .parse()
-            .map_err(|e| int_err(no + 1, e))?;
+            .ok_or_else(|| parse_err(no + 1, "missing target"))
+            .and_then(|t| parse_unsigned(no + 1, t, "vertex id"))?;
         let w: EdgeWeight = match tok.next() {
-            Some(t) => t.parse().map_err(|e| int_err(no + 1, e))?,
+            Some(t) => parse_unsigned(no + 1, t, "edge weight")?,
             None => 1,
         };
         if u > u32::MAX as u64 || v > u32::MAX as u64 {
             return Err(parse_err(no + 1, "vertex id exceeds u32"));
+        }
+        if u == v {
+            return Err(parse_err(
+                no + 1,
+                format!("self-loop on vertex {u} not allowed"),
+            ));
         }
         max_id = max_id.max(u).max(v);
         edges.push((u as NodeId, v as NodeId, w));
@@ -319,5 +350,24 @@ mod tests {
     fn edge_list_rejects_small_hint() {
         let text = "0 5\n";
         assert!(read_edge_list(Cursor::new(text), Some(3)).is_err());
+    }
+
+    #[test]
+    fn self_loops_are_parse_errors_in_both_formats() {
+        let err = read_edge_list(Cursor::new("0 1\n2 2\n"), None).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 2, .. }), "{err}");
+        // METIS: vertex 1's adjacency list names vertex 1 itself.
+        let err = read_metis(Cursor::new("2 1\n1 2\n1\n")).unwrap_err();
+        assert!(matches!(err, GraphIoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn negative_weights_and_ids_are_named_in_the_error() {
+        for text in ["0 1 -3\n", "-1 2\n", "0 -2 1\n"] {
+            let err = read_edge_list(Cursor::new(text), None).unwrap_err();
+            assert!(err.to_string().contains("negative"), "{err}");
+        }
+        let err = read_metis(Cursor::new("2 1 001\n2 -7\n1 -7\n")).unwrap_err();
+        assert!(err.to_string().contains("negative"), "{err}");
     }
 }

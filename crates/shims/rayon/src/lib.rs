@@ -8,7 +8,8 @@
 //! * `slice.par_sort_unstable_by_key(f)` — sequential fallback.
 //!
 //! `for_each` is genuinely parallel: the index space is split evenly
-//! across `std::thread::available_parallelism()` scoped threads. There is
+//! across `std::thread::available_parallelism()` scoped threads (capped
+//! by `RAYON_NUM_THREADS`, like real rayon's global pool). There is
 //! no work stealing — the workloads here (graph contraction, label
 //! propagation) are pre-chunked evenly by their callers, which is exactly
 //! the shape static splitting handles well.
@@ -20,9 +21,21 @@ pub mod prelude {
 use std::ops::Range;
 
 fn worker_count(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map_or(1, |p| p.get())
-        .min(items.max(1))
+    // Like real rayon, RAYON_NUM_THREADS caps the pool — the CI test
+    // matrix uses it to force both single- and multi-worker schedules
+    // through the same binaries. Read once (real rayon also fixes its
+    // global pool size at initialisation): the shim sits on hot solver
+    // paths that would otherwise take the env lock every round.
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cap = *CAP.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(hw)
+    });
+    cap.min(items.max(1))
 }
 
 /// `into_par_iter()` for integer ranges.

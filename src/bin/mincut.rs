@@ -5,20 +5,38 @@
 //! solver with its aliases and guarantees. `--stats` prints the run's
 //! [`SolverStats`] telemetry as one JSON object on stdout.
 //!
+//! `--batch <MANIFEST>` switches to batch serving mode: the manifest
+//! lists one graph file per line (optionally followed by a solver name),
+//! the whole batch runs through [`MinCutService`] — concurrent workers,
+//! fingerprint result cache, shared λ̂ bounds — and one JSON object per
+//! job is emitted on stdout (JSON-lines), with the aggregate
+//! [`BatchStats`] report on stderr.
+//!
 //! Exit codes: 0 success, 1 runtime failure (I/O, parse, solver error,
-//! failed verification), 2 usage error. Diagnostics go to stderr; only
-//! results (`lambda …`, `side …`, `cutedge …`, the `--stats` JSON) go to
-//! stdout.
+//! failed verification, any failed batch job), 2 usage error.
+//! Diagnostics go to stderr; only results (`lambda …`, `side …`,
+//! `cutedge …`, the `--stats` JSON, batch JSON-lines) go to stdout.
 
+use std::io::BufRead;
 use std::process::exit;
+use std::sync::Arc;
 
-use sm_mincut::graph::io::{read_edge_list, read_metis};
-use sm_mincut::{CsrGraph, MinCutError, Session, SolveOptions, SolverRegistry};
+use sm_mincut::algorithms::json_string as json_str;
+use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
+use sm_mincut::{
+    BatchJob, CsrGraph, ErrorPolicy, JobStatus, MinCutError, MinCutService, ServiceConfig, Session,
+    SolveOptions, SolverRegistry,
+};
 
 struct Options {
     path: String,
+    batch: Option<String>,
     algorithm: String,
     opts: SolveOptions,
+    /// Whether -t/--threads was given (batch mode re-splits the default).
+    threads_set: bool,
+    jobs: usize,
+    fail_fast: bool,
     print_side: bool,
     print_edges: bool,
     print_stats: bool,
@@ -44,6 +62,7 @@ fn help_text() -> String {
 mincut - exact minimum cut solver (Henzinger-Noe-Schulz, IPDPS 2019)
 
 USAGE: mincut [OPTIONS] <GRAPH>
+       mincut [OPTIONS] --batch <MANIFEST>
 
 ARGS:
   <GRAPH>  METIS file (*.graph, *.metis) or edge list; '-' = stdin edge list
@@ -55,12 +74,24 @@ OPTIONS:
   -q, --queue <KIND>      bstack | bqueue | heap (default heap)
   -t, --threads <N>       worker threads for parcut (default: all cores)
   -s, --seed <N>          RNG seed (default 42)
-      --budget-ms <N>     fail if the solve exceeds N milliseconds
+      --budget-ms <N>     fail if a solve exceeds N milliseconds
+                          (in batch mode: wall-clock budget of the batch)
       --stats             print the SolverStats report as JSON on stdout
       --side              print one side of the optimal cut
       --edges             print the cut edge set
       --list              list registered solvers and exit
   -h, --help              show this help
+
+BATCH MODE:
+      --batch <MANIFEST>  run every graph listed in MANIFEST through the
+                          MinCutService (one `path [solver]` per line,
+                          `#`/`%` comments); emits one JSON object per
+                          job on stdout and the BatchStats on stderr
+                          (--stats adds per-job telemetry to each row;
+                          --side/--edges are single-graph only; unless
+                          -t is given, cores are split between workers)
+  -j, --jobs <N>          batch worker threads (default: all cores)
+      --fail-fast         skip remaining batch jobs after a failure
 
 SOLVERS (cli name, paper name, description):
 {names}"
@@ -70,8 +101,12 @@ SOLVERS (cli name, paper name, description):
 fn parse_args() -> Options {
     let mut opts = Options {
         path: String::new(),
+        batch: None,
         algorithm: "noi-viecut".into(),
         opts: SolveOptions::new().seed(42),
+        threads_set: false,
+        jobs: 0,
+        fail_fast: false,
         print_side: false,
         print_edges: false,
         print_stats: false,
@@ -112,7 +147,10 @@ fn parse_args() -> Options {
                 }
             }
             "-t" | "--threads" => match value("--threads").parse() {
-                Ok(t) if t >= 1 => opts.opts.threads = t,
+                Ok(t) if t >= 1 => {
+                    opts.opts.threads = t;
+                    opts.threads_set = true;
+                }
                 _ => {
                     eprintln!("error: --threads needs a positive integer");
                     exit(2)
@@ -132,6 +170,15 @@ fn parse_args() -> Options {
                     exit(2)
                 }
             },
+            "--batch" => opts.batch = Some(value("--batch")),
+            "-j" | "--jobs" => match value("--jobs").parse() {
+                Ok(j) => opts.jobs = j,
+                Err(_) => {
+                    eprintln!("error: --jobs needs a non-negative integer");
+                    exit(2)
+                }
+            },
+            "--fail-fast" => opts.fail_fast = true,
             "--stats" => opts.print_stats = true,
             "--side" => opts.print_side = true,
             "--edges" => opts.print_edges = true,
@@ -148,22 +195,31 @@ fn parse_args() -> Options {
             }
         }
     }
-    if opts.path.is_empty() {
+    if opts.batch.is_some() && !opts.path.is_empty() {
+        eprintln!("error: --batch and a <GRAPH> argument are mutually exclusive");
+        usage()
+    }
+    if opts.batch.is_some() && (opts.print_side || opts.print_edges) {
+        eprintln!("error: --side/--edges are not available in --batch mode (use --stats for per-job telemetry)");
+        usage()
+    }
+    if opts.batch.is_none() && (opts.jobs != 0 || opts.fail_fast) {
+        eprintln!("error: --jobs/--fail-fast only apply to --batch mode");
+        usage()
+    }
+    if opts.batch.is_none() && opts.path.is_empty() {
         eprintln!("error: missing graph argument");
         usage()
     }
     opts
 }
 
-fn load_graph(path: &str) -> CsrGraph {
-    let result = if path == "-" {
+fn try_load_graph(path: &str) -> Result<CsrGraph, String> {
+    let parsed: Result<CsrGraph, GraphIoError> = if path == "-" {
         let stdin = std::io::stdin();
         read_edge_list(stdin.lock(), None)
     } else {
-        let file = std::fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot open {path}: {e}");
-            exit(1)
-        });
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         let reader = std::io::BufReader::new(file);
         if path.ends_with(".graph") || path.ends_with(".metis") {
             read_metis(reader)
@@ -171,10 +227,173 @@ fn load_graph(path: &str) -> CsrGraph {
             read_edge_list(reader, None)
         }
     };
-    result.unwrap_or_else(|e| {
-        eprintln!("error: failed to parse {path}: {e}");
+    parsed.map_err(|e| format!("failed to parse {path}: {e}"))
+}
+
+fn load_graph(path: &str) -> CsrGraph {
+    try_load_graph(path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         exit(1)
     })
+}
+
+/// One manifest entry: a graph that loaded into a batch job, a load
+/// failure reported in place, or an entry skipped by `--fail-fast`.
+enum Entry {
+    Job { file: String, job_index: usize },
+    Unreadable { file: String, error: String },
+    NotLoaded { file: String },
+}
+
+/// Batch serving mode: parse the manifest, run everything through
+/// [`MinCutService`], emit JSON-lines. Never returns.
+fn run_batch_mode(cli: &Options, manifest_path: &str) -> ! {
+    let manifest = std::fs::File::open(manifest_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open manifest {manifest_path}: {e}");
+        exit(1)
+    });
+    let mut job_opts = cli.opts.clone();
+    // Batch output only reports λ — --side/--edges are rejected up
+    // front — so skip the per-round witness tracking every solver would
+    // otherwise pay for (bounds still share sideless between same-graph
+    // jobs).
+    job_opts.witness = false;
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut poisoned = false;
+    for (no, line) in std::io::BufReader::new(manifest).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("error: reading manifest {manifest_path}: {e}");
+            exit(1)
+        });
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut tok = t.split_whitespace();
+        let file = tok.next().expect("non-empty line").to_string();
+        let solver = tok.next().unwrap_or(cli.algorithm.as_str()).to_string();
+        if let Some(extra) = tok.next() {
+            eprintln!(
+                "error: manifest line {}: unexpected token {extra:?}",
+                no + 1
+            );
+            exit(2)
+        }
+        // Under --fail-fast an earlier unreadable entry poisons the
+        // rest of the manifest, mirroring the service's job policy.
+        if poisoned {
+            entries.push(Entry::NotLoaded { file });
+            continue;
+        }
+        match try_load_graph(&file) {
+            Ok(g) => {
+                let job = BatchJob::new(Arc::new(g), solver)
+                    .options(job_opts.clone())
+                    .label(file.clone());
+                entries.push(Entry::Job {
+                    file,
+                    job_index: jobs.len(),
+                });
+                jobs.push(job);
+            }
+            Err(error) => {
+                poisoned = cli.fail_fast;
+                entries.push(Entry::Unreadable { file, error });
+            }
+        }
+    }
+
+    // Unless -t was given, split the cores between the *effective*
+    // batch workers (the service caps them at the job count) so
+    // parallel solver phases inside concurrent jobs don't oversubscribe
+    // the machine workers × cores threads deep — and a short manifest
+    // still uses the whole machine per job.
+    if !cli.threads_set {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let workers = (if cli.jobs == 0 { cores } else { cli.jobs }).min(jobs.len().max(1));
+        let threads = (cores / workers).max(1);
+        for job in &mut jobs {
+            job.opts.threads = threads;
+        }
+    }
+
+    let mut config = ServiceConfig::new()
+        .concurrency(cli.jobs)
+        .error_policy(if cli.fail_fast {
+            ErrorPolicy::FailFast
+        } else {
+            ErrorPolicy::Continue
+        });
+    // In batch mode --budget-ms bounds the whole batch, not one job.
+    if let Some(budget) = cli.opts.time_budget {
+        config = config.batch_budget(budget);
+    }
+    let service = MinCutService::new(config);
+    let report = service.run_batch(&jobs);
+
+    let mut any_failed = false;
+    for (row, entry) in entries.iter().enumerate() {
+        match entry {
+            Entry::Unreadable { file, error } => {
+                any_failed = true;
+                println!(
+                    "{{\"index\":{row},\"file\":{},\"status\":\"error\",\"error\":{}}}",
+                    json_str(file),
+                    json_str(error)
+                );
+            }
+            Entry::NotLoaded { file } => {
+                any_failed = true;
+                println!(
+                    "{{\"index\":{row},\"file\":{},\"status\":\"skipped\",\
+                     \"reason\":\"fail-fast: an earlier manifest entry was unreadable\"}}",
+                    json_str(file)
+                );
+            }
+            Entry::Job { file, job_index } => {
+                let job = &report.jobs[*job_index];
+                match &job.status {
+                    JobStatus::Solved(o) | JobStatus::Cached(o) => {
+                        let stats = if cli.print_stats {
+                            format!(",\"stats\":{}", o.stats.to_json())
+                        } else {
+                            String::new()
+                        };
+                        println!(
+                            "{{\"index\":{row},\"file\":{},\"solver\":{},\"status\":\"ok\",\
+                             \"lambda\":{},\"cached\":{},\"seconds\":{:.6}{stats}}}",
+                            json_str(file),
+                            json_str(&job.solver),
+                            o.cut.value,
+                            job.status.from_cache(),
+                            job.seconds
+                        )
+                    }
+                    JobStatus::Failed(e) => {
+                        any_failed = true;
+                        println!(
+                            "{{\"index\":{row},\"file\":{},\"solver\":{},\"status\":\"error\",\
+                             \"error\":{}}}",
+                            json_str(file),
+                            json_str(&job.solver),
+                            json_str(&e.to_string())
+                        );
+                    }
+                    JobStatus::Skipped { reason } => {
+                        any_failed = true;
+                        println!(
+                            "{{\"index\":{row},\"file\":{},\"status\":\"skipped\",\"reason\":{}}}",
+                            json_str(file),
+                            json_str(reason)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("batch: {}", report.stats.to_json());
+    exit(if any_failed { 1 } else { 0 })
 }
 
 fn main() {
@@ -186,6 +405,10 @@ fn main() {
         eprintln!("error: {e}");
         eprintln!("hint: run `mincut --list` for all registered solvers");
         exit(2)
+    }
+
+    if let Some(manifest) = &cli.batch {
+        run_batch_mode(&cli, manifest);
     }
 
     let g = load_graph(&cli.path);

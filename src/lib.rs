@@ -36,6 +36,29 @@
 //! assert_eq!(*outcome.stats.lambda_trajectory.last().unwrap(), 1);
 //! ```
 //!
+//! ## Batch serving
+//!
+//! For many queries at once — sweeps, repeated instances, families of
+//! related graphs — use [`MinCutService`]: batches run concurrently,
+//! results memoise in a [`CsrGraph::fingerprint`]-keyed cut cache, and
+//! jobs sharing a graph or family seed each other's λ̂ bound (the
+//! `mincut --batch <manifest>` CLI mode and the `batch_service` example
+//! drive it end to end):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sm_mincut::{BatchJob, CsrGraph, MinCutService, ServiceConfig};
+//!
+//! let g = Arc::new(CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 1), (2, 0, 1)]));
+//! let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+//! let report = service.run_batch(&[
+//!     BatchJob::new(g.clone(), "noi-viecut"),
+//!     BatchJob::new(g.clone(), "noi-viecut"), // cache hit
+//! ]);
+//! assert!(report.all_ok());
+//! assert_eq!(report.stats.cache_hits, 1);
+//! ```
+//!
 //! The enum front door of earlier releases still works as a shim:
 //!
 //! ```
@@ -53,7 +76,9 @@ pub use mincut_graph as graph;
 
 // The names a typical user needs, flattened.
 pub use mincut_core::{
-    minimum_cut, minimum_cut_seeded, Algorithm, Capabilities, Guarantee, Membership, MinCutError,
-    MinCutResult, PqKind, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry, SolverStats,
+    minimum_cut, minimum_cut_seeded, Algorithm, BatchJob, BatchReport, BatchStats, CacheStats,
+    Capabilities, ErrorPolicy, Guarantee, JobReport, JobStatus, Membership, MinCutError,
+    MinCutResult, MinCutService, PqKind, ServiceConfig, Session, SolveOptions, SolveOutcome,
+    Solver, SolverRegistry, SolverStats,
 };
 pub use mincut_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};

@@ -1,0 +1,244 @@
+//! Error-path coverage: malformed inputs are values (`GraphIoError`,
+//! `MinCutError`) — never panics — and the CLI turns them into its
+//! documented exit codes (0 ok, 1 runtime failure, 2 usage error),
+//! including per-entry failures in `--batch` manifests.
+
+use std::io::Cursor;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
+use sm_mincut::{CsrGraph, MinCutError, Session, SolveOptions};
+
+// ---------------------------------------------------------------------
+// Library layer: parsers.
+// ---------------------------------------------------------------------
+
+fn metis_err(text: &str) -> GraphIoError {
+    read_metis(Cursor::new(text)).expect_err(text)
+}
+
+#[test]
+fn malformed_metis_headers_are_parse_errors() {
+    for text in [
+        "",                    // no header at all
+        "% only comments\n",   // ditto
+        "x 3\n",               // vertex count not a number
+        "3\n1\n1\n1\n",        // missing edge count
+        "2 1 111\n1 2\n2 1\n", // vertex sizes unsupported
+        "3 5\n2\n1\n\n",       // edge count contradicts lists
+        "2 1\n2\n1\n2\n",      // more vertex lines than vertices
+        "2 1\n3\n1\n",         // neighbour out of range
+        "2 1 001\n2\n1 1\n",   // missing edge weight
+    ] {
+        assert!(
+            matches!(metis_err(text), GraphIoError::Parse { .. }),
+            "{text:?}"
+        );
+    }
+}
+
+#[test]
+fn negative_weights_and_self_loops_are_rejected_not_panics() {
+    // Edge lists.
+    for text in ["0 1 -5\n", "-1 2\n", "3 3\n", "0 1\n1 1 2\n"] {
+        let err = read_edge_list(Cursor::new(text), None).expect_err(text);
+        assert!(matches!(err, GraphIoError::Parse { .. }), "{text:?}");
+    }
+    // METIS: negative weight, self-loop.
+    for text in ["2 1 001\n2 -1\n1 -1\n", "2 1\n1\n2\n"] {
+        assert!(
+            matches!(metis_err(text), GraphIoError::Parse { .. }),
+            "{text:?}"
+        );
+    }
+}
+
+#[test]
+fn solver_errors_are_values_not_panics() {
+    let tiny = CsrGraph::from_edges(1, &[]);
+    assert_eq!(
+        Session::new(&tiny).run("noi").unwrap_err(),
+        MinCutError::TooFewVertices { n: 1 }
+    );
+    let (g, _) = sm_mincut::graph::generators::known::cycle_graph(4, 1);
+    assert!(matches!(
+        Session::new(&g).run("no-such-solver").unwrap_err(),
+        MinCutError::UnknownSolver { .. }
+    ));
+    assert!(matches!(
+        Session::new(&g)
+            .options(SolveOptions::new().threads(0))
+            .run("noi")
+            .unwrap_err(),
+        MinCutError::InvalidOptions { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------
+// CLI layer: exit codes.
+// ---------------------------------------------------------------------
+
+fn mincut_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mincut"))
+}
+
+fn data(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn scratch_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mincut-error-paths");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn cli_exit_codes_for_single_graph_failures() {
+    // Unreadable graph: runtime failure.
+    let out = mincut_bin()
+        .arg("/nonexistent/nope.graph")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Malformed graph: runtime failure.
+    let bad = scratch_file("selfloop.txt", "0 0\n");
+    let out = mincut_bin().arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Unknown solver: usage error, detected before the graph loads.
+    let out = mincut_bin()
+        .args(["-a", "nope"])
+        .arg(data("triangle.graph"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown flag / missing graph: usage errors.
+    assert_eq!(
+        mincut_bin()
+            .arg("--frobnicate")
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(mincut_bin().output().unwrap().status.code(), Some(2));
+}
+
+#[test]
+fn cli_batch_manifest_entries_report_errors_and_exit_nonzero() {
+    let manifest = scratch_file(
+        "mixed_manifest.txt",
+        &format!(
+            "# golden instances + one unreadable + one malformed\n\
+             {tri}\n\
+             {path} stoer-wagner\n\
+             /nonexistent/missing.graph\n\
+             {bad}\n",
+            tri = data("triangle.graph").display(),
+            path = data("path4.txt").display(),
+            bad = scratch_file("negative.txt", "0 1 -3\n").display()
+        ),
+    );
+    let out = mincut_bin()
+        .args(["--batch"])
+        .arg(&manifest)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "failed entries ⇒ exit 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one JSON object per manifest entry");
+    assert!(lines[0].contains("\"status\":\"ok\"") && lines[0].contains("\"lambda\":2"));
+    assert!(lines[1].contains("\"status\":\"ok\"") && lines[1].contains("\"lambda\":1"));
+    assert!(lines[2].contains("\"status\":\"error\"") && lines[2].contains("cannot open"));
+    assert!(lines[3].contains("\"status\":\"error\"") && lines[3].contains("negative"));
+
+    // A fully readable manifest exits 0.
+    let ok_manifest = scratch_file(
+        "ok_manifest.txt",
+        &format!(
+            "{}\n{}\n",
+            data("cycle5.graph").display(),
+            data("k5.graph").display()
+        ),
+    );
+    let out = mincut_bin()
+        .args(["--batch"])
+        .arg(&ok_manifest)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // Batch and a positional graph are mutually exclusive: usage error.
+    let out = mincut_bin()
+        .args(["--batch"])
+        .arg(&ok_manifest)
+        .arg(data("triangle.graph"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // --side/--edges only make sense for a single graph: usage error.
+    for flag in ["--side", "--edges"] {
+        let out = mincut_bin()
+            .args(["--batch"])
+            .arg(&ok_manifest)
+            .arg(flag)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} in batch mode");
+    }
+
+    // --stats embeds the per-job telemetry report in each JSON row.
+    let out = mincut_bin()
+        .args(["--batch"])
+        .arg(&ok_manifest)
+        .arg("--stats")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.lines().all(|l| l.contains("\"stats\":{")),
+        "{stdout}"
+    );
+
+    // Under --fail-fast, an unreadable entry poisons the rest.
+    let ff_manifest = scratch_file(
+        "ff_manifest.txt",
+        &format!(
+            "/nonexistent/missing.graph\n{}\n",
+            data("triangle.graph").display()
+        ),
+    );
+    let out = mincut_bin()
+        .args(["--batch"])
+        .arg(&ff_manifest)
+        .arg("--fail-fast")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout
+        .lines()
+        .nth(1)
+        .unwrap()
+        .contains("\"status\":\"skipped\""));
+
+    // Unreadable manifest itself: runtime failure.
+    let out = mincut_bin()
+        .args(["--batch", "/nonexistent/manifest.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

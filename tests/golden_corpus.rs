@@ -1,0 +1,134 @@
+//! Golden corpus: every solver instance and the batch serving path
+//! against the hand-verified instances under `tests/data/` (see its
+//! README for the per-file λ arguments).
+//!
+//! Three layers of assurance:
+//! 1. the hand-computed λ of every file is re-checked against the
+//!    brute-force oracle, so the corpus itself cannot rot;
+//! 2. the full (family × queue) solver matrix runs on every instance —
+//!    exact solvers must hit λ exactly, inexact ones must return a real
+//!    cut ≥ λ;
+//! 3. the `MinCutService` batch path must be bit-identical to a serial
+//!    `Session` loop, and a resubmission must be served entirely from
+//!    the fingerprint cut cache (checked via `BatchStats`).
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::sync::Arc;
+
+use sm_mincut::graph::generators::known::brute_force_mincut;
+use sm_mincut::graph::io::{read_edge_list, read_metis};
+use sm_mincut::{
+    BatchJob, CsrGraph, MinCutService, ServiceConfig, Session, SolveOptions, SolverRegistry,
+};
+
+/// `(file, hand-verified λ)` — keep in sync with tests/data/README.md.
+const GOLDEN: &[(&str, u64)] = &[
+    ("triangle.graph", 2),
+    ("path4.txt", 1),
+    ("cycle5.graph", 2),
+    ("k5.graph", 4),
+    ("barbell.txt", 1),
+    ("square_diag.graph", 2),
+    ("two_triangles_bridge2.txt", 2),
+    ("star6.graph", 1),
+    ("grid3x3.txt", 2),
+];
+
+fn load(name: &str) -> CsrGraph {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    let reader = BufReader::new(File::open(&path).unwrap_or_else(|e| panic!("{name}: {e}")));
+    let parsed = if name.ends_with(".graph") || name.ends_with(".metis") {
+        read_metis(reader)
+    } else {
+        read_edge_list(reader, None)
+    };
+    parsed.unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn corpus() -> Vec<(&'static str, CsrGraph, u64)> {
+    GOLDEN.iter().map(|&(f, l)| (f, load(f), l)).collect()
+}
+
+#[test]
+fn golden_lambdas_match_brute_force() {
+    for (file, g, lambda) in corpus() {
+        assert_eq!(
+            brute_force_mincut(&g),
+            lambda,
+            "{file}: the hand-verified λ in GOLDEN/README is wrong"
+        );
+    }
+}
+
+#[test]
+fn full_solver_matrix_on_golden_corpus() {
+    let opts = SolveOptions::new().seed(0xC0FFEE).threads(2);
+    for (file, g, lambda) in corpus() {
+        for solver in SolverRegistry::global().instances() {
+            let name = solver.instance_name(&opts);
+            let out = solver
+                .solve(&g, &opts)
+                .unwrap_or_else(|e| panic!("{name} on {file}: {e}"));
+            if solver.capabilities().guarantee.is_exact() {
+                assert_eq!(out.cut.value, lambda, "{name} on {file}");
+            } else {
+                assert!(out.cut.value >= lambda, "{name} below λ on {file}");
+            }
+            assert!(out.cut.verify(&g), "{name} witness on {file}");
+        }
+    }
+}
+
+#[test]
+fn batch_path_is_bit_identical_to_serial_sessions_and_caches_repeats() {
+    let opts = SolveOptions::new().seed(5);
+    let solvers = ["noi-viecut", "NOIλ̂-BQueue", "stoer-wagner", "parcut"];
+
+    let mut jobs = Vec::new();
+    let mut serial = Vec::new();
+    for (file, g, lambda) in corpus() {
+        let g = Arc::new(g);
+        for solver in solvers {
+            let out = Session::new(&g)
+                .options(opts.clone())
+                .run(solver)
+                .unwrap_or_else(|e| panic!("serial {solver} on {file}: {e}"));
+            assert_eq!(out.cut.value, lambda, "serial {solver} on {file}");
+            serial.push(out.cut.value);
+            jobs.push(
+                BatchJob::new(g.clone(), solver)
+                    .options(opts.clone())
+                    .label(format!("{file} × {solver}")),
+            );
+        }
+    }
+
+    for workers in [1usize, 4] {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(workers));
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok(), "{workers} workers");
+        assert_eq!(report.stats.jobs, jobs.len());
+        assert_eq!(report.stats.cache_hits, 0, "all keys distinct on first run");
+        for (row, expected) in report.jobs.iter().zip(&serial) {
+            assert_eq!(
+                row.status.outcome().unwrap().cut.value,
+                *expected,
+                "batch diverged from serial on {}",
+                row.label
+            );
+        }
+
+        // Resubmission: the whole corpus must come from the cut cache.
+        let again = service.run_batch(&jobs);
+        assert!(again.all_ok());
+        assert_eq!(again.stats.solved, 0, "{workers} workers: no re-solves");
+        assert_eq!(again.stats.cache_hits, jobs.len());
+        for (row, expected) in again.jobs.iter().zip(&serial) {
+            assert_eq!(row.status.outcome().unwrap().cut.value, *expected);
+        }
+    }
+}

@@ -51,6 +51,42 @@ fn parcut_on_social_core() {
     assert_parcut_matches(&core, expected, "social_core");
 }
 
+/// Determinism regression: with a fixed seed, the parallel exact solver
+/// must report the identical cut value — and a witness partition of that
+/// exact weight — at every worker count. The CI matrix additionally runs
+/// this suite under `RAYON_NUM_THREADS ∈ {1, 4}` (the vendored rayon
+/// shim honours it), so both the single- and multi-worker schedules of
+/// the label-propagation / contraction phases are exercised.
+#[test]
+fn fixed_seed_is_deterministic_across_thread_counts() {
+    let instances = vec![
+        known::two_communities(14, 15, 2, 3, 1),
+        known::ring_of_cliques(6, 5, 2, 1),
+        known::grid_graph(8, 11, 2),
+    ];
+    for (g, l) in &instances {
+        for pq in PqKind::ALL {
+            let mut values = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let r = minimum_cut_seeded(g, Algorithm::ParCut { pq, threads }, 0xD5EED);
+                // The witness partition must be a real cut of exactly the
+                // reported weight (region growth may pick different
+                // optimal sides per schedule; their *weight* may not
+                // vary).
+                let side = r.side.as_ref().expect("witness on");
+                assert_eq!(g.cut_value(side), r.value, "pq {pq}, {threads} threads");
+                assert!(r.verify(g), "pq {pq}, {threads} threads");
+                values.push(r.value);
+            }
+            assert!(
+                values.iter().all(|v| v == &values[0]),
+                "pq {pq}: value varies with thread count: {values:?}"
+            );
+            assert_eq!(values[0], *l, "pq {pq}");
+        }
+    }
+}
+
 #[test]
 fn parcut_seed_independence_of_value() {
     // The *value* must be deterministic even though region growth is

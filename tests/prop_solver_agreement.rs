@@ -1,0 +1,100 @@
+//! Property tests (vendored proptest shim): on random small weighted
+//! multigraphs,
+//!
+//! * every exact solver instance in the registry — the full
+//!   (family × queue) matrix — agrees with the Stoer–Wagner reference;
+//! * inexact solvers return the value of a real cut ≥ λ;
+//! * contracting any set of edges that does not cross a minimum cut
+//!   preserves λ (the invariant behind every CAPFOREST contraction of
+//!   the paper: λ(G/F) = λ(G) when F stays inside the blocks).
+//!
+//! The generated edge lists are multigraphs — duplicate pairs and
+//! self-loops included — exercising the builder's normalisation too.
+
+use proptest::prelude::*;
+
+use sm_mincut::ds::UnionFind;
+use sm_mincut::graph::contract::contract;
+use sm_mincut::{CsrGraph, Session, SolveOptions, SolverRegistry};
+
+/// Builds a graph on `n` vertices from raw (multigraph) edge records.
+fn build(n: usize, raw: &[(u32, u32, u64)]) -> CsrGraph {
+    let edges: Vec<(u32, u32, u64)> = raw
+        .iter()
+        .map(|&(u, v, w)| (u % n as u32, v % n as u32, w))
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Stoer–Wagner is the ground-truth oracle (itself validated against
+/// brute force in `tests/naive_references.rs`).
+fn reference(g: &CsrGraph) -> (u64, Vec<bool>) {
+    let out = Session::new(g).run("stoer-wagner").expect("reference run");
+    let side = out.cut.side.clone().expect("witness on by default");
+    (out.cut.value, side)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    #[test]
+    fn every_registry_instance_agrees_with_stoer_wagner(
+        n in 2usize..9,
+        raw in prop::collection::vec((0u32..16, 0u32..16, 1u64..8), 1..24),
+    ) {
+        let g = build(n, &raw);
+        let (lambda, _) = reference(&g);
+        let opts = SolveOptions::new().seed(0xFEED).threads(2);
+        for solver in SolverRegistry::global().instances() {
+            let name = solver.instance_name(&opts);
+            let out = solver
+                .solve(&g, &opts)
+                .unwrap_or_else(|e| panic!("{name} on n={n} {raw:?}: {e}"));
+            if solver.capabilities().guarantee.is_exact() {
+                prop_assert_eq!(
+                    out.cut.value, lambda,
+                    "{} disagrees on n={} edges={:?}", name, n, &raw
+                );
+            } else {
+                prop_assert!(
+                    out.cut.value >= lambda,
+                    "{} went below lambda on n={} edges={:?}", name, n, &raw
+                );
+            }
+            prop_assert!(
+                out.cut.verify(&g),
+                "{} returned a bad witness on n={} edges={:?}", name, n, &raw
+            );
+        }
+    }
+
+    #[test]
+    fn contracting_non_cut_crossing_edges_preserves_lambda(
+        n in 2usize..9,
+        raw in prop::collection::vec((0u32..16, 0u32..16, 1u64..8), 1..24),
+        mask in any::<u64>(),
+    ) {
+        let g = build(n, &raw);
+        let (lambda, side) = reference(&g);
+
+        // Contract a pseudo-random subset of the edges that do not cross
+        // the witness cut. Blocks never span both sides, so the witness
+        // survives contraction and λ cannot change: contraction never
+        // creates cuts (λ can only grow) yet this cut keeps its value.
+        let mut uf = UnionFind::new(g.n());
+        for (i, (u, v, _)) in g.edges().enumerate() {
+            let crossing = side[u as usize] != side[v as usize];
+            if !crossing && (mask >> (i % 64)) & 1 == 1 {
+                uf.union(u, v);
+            }
+        }
+        let (labels, blocks) = uf.dense_labels();
+        prop_assert!(blocks >= 2, "both sides must survive");
+        let c = contract(&g, &labels, blocks);
+        let (contracted_lambda, _) = reference(&c);
+        prop_assert_eq!(
+            contracted_lambda, lambda,
+            "contraction changed λ on n={} edges={:?} mask={:#x}", n, &raw, mask
+        );
+    }
+}
