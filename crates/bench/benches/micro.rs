@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mincut_core::capforest::capforest;
 use mincut_core::viecut::label_propagation;
 use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, ConcurrentUnionFind, MaxPq, UnionFind};
-use mincut_graph::contract::{contract, contract_parallel};
+use mincut_graph::contract::{contract, contract_parallel, ContractionEngine};
 use mincut_graph::generators::{connected_gnm, random_hyperbolic_graph, RhgParams};
 use mincut_graph::{CsrGraph, NodeId};
 use rand::rngs::SmallRng;
@@ -129,6 +129,17 @@ fn bench_contraction(c: &mut Criterion) {
     });
     group.bench_function("parallel", |b| {
         b.iter(|| contract_parallel(&g, &labels, blocks).m())
+    });
+    // The solvers' actual hot path: one engine reused across rounds, so
+    // accumulation tables and both CSR buffers stay warm.
+    group.bench_function("engine_reused", |b| {
+        let mut engine = ContractionEngine::new();
+        b.iter(|| {
+            let c = engine.contract(&g, &labels, blocks);
+            let m = c.m();
+            engine.recycle(c);
+            m
+        })
     });
     group.finish();
 }

@@ -8,13 +8,11 @@
 //! than NOI in practice, which our benchmark harness reproduces.
 
 use mincut_ds::UnionFind;
-use mincut_graph::contract::contract;
-use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::MinCutError;
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
@@ -61,7 +59,7 @@ pub fn karger_stein_instrumented(
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
         ctx.stats.record_lambda(0);
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
@@ -79,13 +77,21 @@ pub(crate) fn karger_stein_connected(
     ctx: &mut SolveContext<'_>,
 ) -> Result<MinCutResult, MinCutError> {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut engine = ContractionEngine::new();
     let mut best = EdgeWeight::MAX;
     let mut best_side: Option<Vec<bool>> = None;
     for _ in 0..cfg.repetitions.max(1) {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
         let membership = Membership::identity(g.n());
-        recursive(g.clone(), membership, &mut rng, &mut best, &mut best_side);
+        recursive(
+            g.clone(),
+            membership,
+            &mut engine,
+            &mut rng,
+            &mut best,
+            &mut best_side,
+        );
         ctx.stats.record_lambda(best);
     }
     Ok(MinCutResult {
@@ -99,6 +105,7 @@ pub(crate) fn karger_stein_connected(
 fn recursive(
     g: CsrGraph,
     membership: Membership,
+    engine: &mut ContractionEngine,
     rng: &mut SmallRng,
     best: &mut EdgeWeight,
     best_side: &mut Option<Vec<bool>>,
@@ -106,16 +113,19 @@ fn recursive(
     let n = g.n();
     if n <= 6 {
         brute_force_small(&g, &membership, best, best_side);
+        engine.recycle(g);
         return;
     }
     // ⌈1 + n/√2⌉ — the classical recursion size.
     let target = (1.0 + n as f64 / std::f64::consts::SQRT_2).ceil() as usize;
     let target = target.min(n - 1).max(2);
     for _ in 0..2 {
-        if let Some((gc, mc)) = contract_random_to(&g, &membership, target, rng) {
-            recursive(gc, mc, rng, best, best_side);
+        if let Some((gc, mc)) = contract_random_to(&g, &membership, target, engine, rng) {
+            recursive(gc, mc, engine, rng, best, best_side);
         }
     }
+    // This branch's graph retires here; its buffers seed the next leaf.
+    engine.recycle(g);
 }
 
 /// Contracts weight-proportional random edges until `target` vertices
@@ -125,6 +135,7 @@ fn contract_random_to(
     g: &CsrGraph,
     membership: &Membership,
     target: usize,
+    engine: &mut ContractionEngine,
     rng: &mut SmallRng,
 ) -> Option<(CsrGraph, Membership)> {
     let n = g.n();
@@ -162,9 +173,8 @@ fn contract_random_to(
         }
     }
     let (labels, blocks) = uf.dense_labels();
-    let gc = contract(g, &labels, blocks);
     let mut mc = membership.clone();
-    mc.contract(&labels, blocks);
+    let gc = engine.contract_tracked(g, &labels, blocks, &mut mc);
     Some((gc, mc))
 }
 

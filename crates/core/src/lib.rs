@@ -51,6 +51,33 @@
 //! assert!(bstack.cut.side.is_none());
 //! ```
 //!
+//! ## Kernelization
+//!
+//! Every solve first runs the exact reduction pipeline of the
+//! [`reduce`] module (connected-component split, k-core-order degree
+//! bound, heavy-edge and Padberg–Rinaldi contraction), so the algorithm
+//! body only sees the kernel; λ̂ found along the way combines exactly via
+//! `λ(G) = min(λ̂, λ(kernel))`. The [`SolveOptions::reductions`] knob
+//! selects passes or disables the pipeline (`--no-reduce` /
+//! `--reductions=<list>` on the CLI), and [`SolverStats`] reports the
+//! kernel size plus per-pass removals:
+//!
+//! ```
+//! use mincut_core::{Reductions, Session, SolveOptions};
+//! use mincut_graph::generators::known;
+//!
+//! let (g, l) = known::two_communities(12, 12, 2, 2, 1);
+//! let on = Session::new(&g).run("noi").unwrap();
+//! assert_eq!(on.cut.value, l);
+//! assert!(on.stats.kernel_n < g.n(), "clustered graphs kernelize");
+//!
+//! let off = Session::new(&g)
+//!     .options(SolveOptions::new().reductions(Reductions::None))
+//!     .run("noi")
+//!     .unwrap();
+//! assert_eq!(off.cut.value, l, "reductions never change exact results");
+//! ```
+//!
 //! Malformed inputs are values, not panics:
 //!
 //! ```
@@ -105,7 +132,7 @@ pub mod matula;
 pub mod noi;
 mod options;
 pub mod parallel;
-mod partition;
+pub mod reduce;
 mod registry;
 pub mod service;
 mod solver;
@@ -115,15 +142,16 @@ pub mod viecut;
 
 pub use error::MinCutError;
 pub use mincut_ds::PqKind;
+pub use mincut_graph::Membership;
 pub use options::SolveOptions;
-pub use partition::Membership;
+pub use reduce::{ReduceOutcome, Reduction, ReductionPipeline, Reductions};
 pub use registry::{SolverEntry, SolverRegistry};
 pub use service::{
     BatchJob, BatchReport, BatchStats, CacheStats, ErrorPolicy, JobReport, JobStatus,
     MinCutService, ServiceConfig,
 };
 pub use solver::{Capabilities, Guarantee, Session, SolveOutcome, Solver};
-pub use stats::{json_string, PhaseTiming, SolveContext, SolverStats};
+pub use stats::{json_string, PhaseTiming, ReductionPassStats, SolveContext, SolverStats};
 
 use mincut_graph::{CsrGraph, EdgeWeight};
 
@@ -315,18 +343,39 @@ mod tests {
     #[test]
     fn stats_reports_are_populated() {
         let (g, l) = known::two_communities(12, 12, 2, 2, 1);
+
+        // Default run: the kernelization pipeline collapses this clustered
+        // instance, and the stats must say so.
         let out = Session::new(&g).run("NOIλ̂-BQueue-VieCut").unwrap();
         assert_eq!(out.cut.value, l);
         let s = &out.stats;
         assert_eq!(s.algorithm, "NOIλ̂-BQueue-VieCut");
         assert_eq!((s.n, s.m), (g.n(), g.m()));
         assert_eq!(*s.lambda_trajectory.last().unwrap(), l);
+        assert!(s.phases.iter().any(|p| p.name == "reduce"));
+        assert!(s.kernel_n < g.n(), "clustered instance must kernelize");
+        assert!(!s.reductions.is_empty(), "per-pass telemetry recorded");
+        assert!(
+            s.reductions.iter().any(|p| p.vertices_removed > 0),
+            "some pass must report removals"
+        );
+        assert!(s.total_seconds >= 0.0);
+
+        // Reductions off: the classical path with PQ/phase telemetry.
+        let opts = SolveOptions::new().no_reductions();
+        let out = Session::new(&g)
+            .options(opts.clone())
+            .run("NOIλ̂-BQueue-VieCut")
+            .unwrap();
+        assert_eq!(out.cut.value, l);
+        let s = &out.stats;
+        assert_eq!(*s.lambda_trajectory.last().unwrap(), l);
         assert!(s.pq_ops.total() > 0, "counting queues must tally ops");
         assert!(s.phases.iter().any(|p| p.name == "viecut"));
         assert!(s.phases.iter().any(|p| p.name == "noi"));
-        assert!(s.total_seconds >= 0.0);
+        assert!(s.reductions.is_empty());
 
-        let par = Session::new(&g).run("parcut").unwrap();
+        let par = Session::new(&g).options(opts).run("parcut").unwrap();
         assert_eq!(par.cut.value, l);
         assert!(
             par.stats.pq_ops.total() > 0,

@@ -10,13 +10,12 @@
 //! therefore any of the three priority queues).
 
 use mincut_ds::PqKind;
-use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::counting_capforest;
 use crate::error::MinCutError;
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::MinCutResult;
@@ -64,7 +63,7 @@ pub fn matula_approx_instrumented(
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
         ctx.stats.record_lambda(0);
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
@@ -83,6 +82,7 @@ pub(crate) fn matula_approx_connected(
 ) -> Result<MinCutResult, MinCutError> {
     assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut engine = ContractionEngine::new();
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
     let mut best = EdgeWeight::MAX;
@@ -144,8 +144,8 @@ pub(crate) fn matula_approx_connected(
         }
         let (labels, blocks) = uf.dense_labels();
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        current = contract::contract(&current, &labels, blocks);
-        membership.contract(&labels, blocks);
+        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        engine.recycle(std::mem::replace(&mut current, next));
     }
 
     Ok(MinCutResult {

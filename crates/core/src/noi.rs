@@ -14,13 +14,12 @@
 //!   contractions per pass.
 
 use mincut_ds::PqKind;
-use mincut_graph::{contract, CsrGraph, EdgeWeight, NodeId};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::{counting_capforest, CapforestOutcome};
 use crate::error::MinCutError;
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::MinCutResult;
@@ -93,7 +92,7 @@ pub fn noi_minimum_cut_instrumented(
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
         ctx.stats.record_lambda(0);
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
@@ -143,6 +142,7 @@ pub(crate) fn noi_minimum_cut_connected(
 
     ctx.stats.record_lambda(lambda);
 
+    let mut engine = ContractionEngine::new();
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
 
@@ -184,8 +184,8 @@ pub(crate) fn noi_minimum_cut_connected(
         let (labels, blocks) = uf.dense_labels();
         debug_assert!(blocks < current.n(), "every round must make progress");
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        current = contract::contract(&current, &labels, blocks);
-        membership.contract(&labels, blocks);
+        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the contracted graph (§3.2: "If the collapsed
         // graph G_C has a minimum degree of less than λ̂, we update λ̂").

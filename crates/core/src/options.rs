@@ -13,6 +13,7 @@ use mincut_ds::PqKind;
 use mincut_graph::EdgeWeight;
 
 use crate::error::MinCutError;
+use crate::reduce::Reductions;
 
 /// Unified solver configuration (builder-style).
 ///
@@ -51,6 +52,11 @@ pub struct SolveOptions {
     /// Optional wall-clock budget; solvers check it between rounds and
     /// fail with [`MinCutError::TimeBudgetExceeded`] when it runs out.
     pub time_budget: Option<Duration>,
+    /// Kernelization passes run before the solver's main loop (default:
+    /// the full pipeline). See [`Reductions`] and the
+    /// [`reduce`](crate::reduce) module; exactness is never affected —
+    /// the pipeline maintains `λ(G) = min(λ̂, λ(kernel))`.
+    pub reductions: Reductions,
 }
 
 impl Default for SolveOptions {
@@ -64,6 +70,7 @@ impl Default for SolveOptions {
             initial_bound: None,
             witness: true,
             time_budget: None,
+            reductions: Reductions::default(),
         }
     }
 }
@@ -113,6 +120,18 @@ impl SolveOptions {
         self
     }
 
+    /// Selects the kernelization passes (see [`Reductions`]).
+    pub fn reductions(mut self, reductions: Reductions) -> Self {
+        self.reductions = reductions;
+        self
+    }
+
+    /// Disables kernelization (the CLI's `--no-reduce`).
+    pub fn no_reductions(mut self) -> Self {
+        self.reductions = Reductions::None;
+        self
+    }
+
     /// Field-level validation shared by every solver.
     pub fn validate(&self) -> Result<(), MinCutError> {
         if self.threads == 0 {
@@ -130,6 +149,7 @@ impl SolveOptions {
                 message: format!("epsilon must be positive, got {}", self.epsilon),
             });
         }
+        self.reductions.validate()?;
         if self.witness && matches!(&self.initial_bound, Some((_, None))) {
             return Err(MinCutError::InvalidOptions {
                 message: "initial_bound without a witness side cannot improve a witness-tracking \
@@ -171,6 +191,20 @@ mod tests {
         assert!(SolveOptions::new().repetitions(0).validate().is_err());
         assert!(SolveOptions::new().epsilon(0.0).validate().is_err());
         assert!(SolveOptions::new().epsilon(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn reduction_selections_validate() {
+        assert!(SolveOptions::new().no_reductions().validate().is_ok());
+        assert!(SolveOptions::new()
+            .reductions(Reductions::Only(vec!["heavy-edge".into()]))
+            .validate()
+            .is_ok());
+        assert!(SolveOptions::new()
+            .reductions(Reductions::Only(vec!["bogus".into()]))
+            .validate()
+            .is_err());
+        assert_eq!(SolveOptions::new().reductions, Reductions::All);
     }
 
     #[test]

@@ -18,15 +18,13 @@
 //! Stoer–Wagner phase, which always makes progress.
 
 use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
-use mincut_graph::contract::contract_parallel;
-use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::capforest::capforest;
 use crate::error::MinCutError;
 use crate::parallel::capforest::{parallel_capforest, ParCapforestOutcome};
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::viecut::{viecut_connected, VieCutConfig};
@@ -83,7 +81,7 @@ pub fn parallel_minimum_cut_instrumented(
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
         ctx.stats.record_lambda(0);
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
@@ -137,6 +135,7 @@ pub(crate) fn parallel_minimum_cut_connected(
     }
     ctx.stats.record_lambda(lambda);
 
+    let mut engine = ContractionEngine::new();
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
 
@@ -188,8 +187,8 @@ pub(crate) fn parallel_minimum_cut_connected(
 
         debug_assert!(blocks < current.n(), "every round must make progress");
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        current = contract_parallel(&current, &labels, blocks);
-        membership.contract(&labels, blocks);
+        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the collapsed graph (§3.2).
         if let Some((v, d)) = current.min_weighted_degree() {

@@ -234,6 +234,7 @@ impl SolverRegistry {
                     uses_pq: true,
                     randomized_value: false,
                     uses_initial_bound: false,
+                    kernelizable: true,
                 },
                 ctor: |pin| Box::new(ParCutSolver { pin_pq: pin }),
             },
@@ -269,6 +270,7 @@ impl SolverRegistry {
                     uses_pq: false,
                     randomized_value: true,
                     uses_initial_bound: false,
+                    kernelizable: true,
                 },
                 ctor: |_| Box::new(KargerSteinSolver),
             },
@@ -283,6 +285,7 @@ impl SolverRegistry {
                     uses_pq: false,
                     randomized_value: true,
                     uses_initial_bound: false,
+                    kernelizable: true,
                 },
                 ctor: |_| Box::new(VieCutSolver),
             },
@@ -297,6 +300,7 @@ impl SolverRegistry {
                     uses_pq: true,
                     randomized_value: true,
                     uses_initial_bound: false,
+                    kernelizable: true,
                 },
                 ctor: |pin| Box::new(MatulaSolver { pin_pq: pin }),
             },
@@ -313,6 +317,7 @@ fn caps_exact(uses_pq: bool, parallel: bool, uses_initial_bound: bool) -> Capabi
         uses_pq,
         randomized_value: false,
         uses_initial_bound,
+        kernelizable: true,
     }
 }
 
@@ -440,6 +445,7 @@ impl Solver for ParCutSolver {
             uses_pq: true,
             randomized_value: false,
             uses_initial_bound: false,
+            kernelizable: true,
         }
     }
 
@@ -562,6 +568,7 @@ impl Solver for KargerSteinSolver {
             uses_pq: false,
             randomized_value: true,
             uses_initial_bound: false,
+            kernelizable: true,
         }
     }
 
@@ -599,6 +606,7 @@ impl Solver for VieCutSolver {
             uses_pq: false,
             randomized_value: true,
             uses_initial_bound: false,
+            kernelizable: true,
         }
     }
 
@@ -634,6 +642,7 @@ impl Solver for MatulaSolver {
             uses_pq: true,
             randomized_value: true,
             uses_initial_bound: false,
+            kernelizable: true,
         }
     }
 

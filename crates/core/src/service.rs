@@ -59,8 +59,9 @@ use mincut_graph::{CsrGraph, EdgeWeight};
 
 use crate::error::MinCutError;
 use crate::options::SolveOptions;
+use crate::reduce::{ReduceOutcome, ReductionPipeline};
 use crate::solver::SolveOutcome;
-use crate::stats::SolverStats;
+use crate::stats::{SolveContext, SolverStats};
 use crate::{MinCutResult, SolverRegistry};
 
 /// One unit of work for [`MinCutService::run_batch`]: a graph, a solver
@@ -261,6 +262,10 @@ pub struct BatchStats {
     pub skipped: usize,
     /// Jobs that started with a bound donated by an earlier job.
     pub bound_reuses: usize,
+    /// Jobs served a precomputed kernel from the kernel cache (same
+    /// graph fingerprint and reduction configuration: the batch
+    /// kernelized that graph exactly once).
+    pub kernel_reuses: usize,
     /// Worker threads the batch ran on.
     pub concurrency: usize,
     /// End-to-end wall-clock of the batch.
@@ -275,14 +280,15 @@ impl BatchStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"jobs\":{},\"solved\":{},\"cache_hits\":{},\"failed\":{},\"skipped\":{},\
-             \"bound_reuses\":{},\"concurrency\":{},\"wall_seconds\":{:.9},\
-             \"solver_seconds\":{:.9}}}",
+             \"bound_reuses\":{},\"kernel_reuses\":{},\"concurrency\":{},\
+             \"wall_seconds\":{:.9},\"solver_seconds\":{:.9}}}",
             self.jobs,
             self.solved,
             self.cache_hits,
             self.failed,
             self.skipped,
             self.bound_reuses,
+            self.kernel_reuses,
             self.concurrency,
             self.wall_seconds,
             self.solver_seconds
@@ -449,6 +455,7 @@ struct BatchState<'a> {
     results: Vec<Mutex<Option<JobReport>>>,
     failed: AtomicBool,
     bound_reuses: AtomicUsize,
+    kernel_reuses: AtomicUsize,
     bounds: Mutex<std::collections::HashMap<String, SharedBound>>,
     deadline: Option<Instant>,
 }
@@ -457,6 +464,10 @@ struct BatchState<'a> {
 pub struct MinCutService {
     config: ServiceConfig,
     cache: CutCache,
+    /// Kernelized-graph cache: fingerprint (+ reduction configuration) →
+    /// the shared [`ReduceOutcome`], so batch jobs on the same graph
+    /// kernelize once. Persists across batches, like the cut cache.
+    kernels: ShardedMap<u64, Arc<ReduceOutcome>>,
 }
 
 impl Default for MinCutService {
@@ -470,6 +481,7 @@ impl MinCutService {
         MinCutService {
             config,
             cache: CutCache::new(),
+            kernels: ShardedMap::new(4),
         }
     }
 
@@ -482,9 +494,10 @@ impl MinCutService {
         self.cache.stats()
     }
 
-    /// Drops every memoised result (counters are kept).
+    /// Drops every memoised result and kernel (counters are kept).
     pub fn clear_cache(&self) {
-        let _ = self.cache.map.drain_into_vec();
+        self.cache.map.clear();
+        self.kernels.clear();
     }
 
     /// Runs one job outside a batch (no skips, same cache and bounds).
@@ -511,6 +524,7 @@ impl MinCutService {
             results: (0..jobs.len()).map(|_| Mutex::new(None)).collect(),
             failed: AtomicBool::new(false),
             bound_reuses: AtomicUsize::new(0),
+            kernel_reuses: AtomicUsize::new(0),
             bounds: Mutex::new(std::collections::HashMap::new()),
             deadline: self.config.batch_budget.map(|b| t0 + b),
         };
@@ -533,6 +547,7 @@ impl MinCutService {
             jobs: jobs.len(),
             concurrency: workers,
             bound_reuses: state.bound_reuses.load(Ordering::Relaxed),
+            kernel_reuses: state.kernel_reuses.load(Ordering::Relaxed),
             wall_seconds: t0.elapsed().as_secs_f64(),
             ..Default::default()
         };
@@ -625,7 +640,12 @@ impl MinCutService {
         // The cache key is the resolved instance name (which encodes the
         // queue, thread count, ε, repetitions) plus the fields that can
         // change the result independently of the name.
-        let config_key = format!("{instance}|seed={}|witness={}", opts.seed, opts.witness);
+        let config_key = format!(
+            "{instance}|seed={}|witness={}|red={}",
+            opts.seed,
+            opts.witness,
+            opts.reductions.cache_key()
+        );
 
         if self.config.cache {
             if let Some((value, side)) = self.cache.lookup(fingerprint, &config_key, g) {
@@ -650,7 +670,44 @@ impl MinCutService {
             self.adopt_bound(state, &fp_group, job, g, fingerprint, &mut opts);
         }
 
-        match solver.solve(g, &opts) {
+        // Kernelized-graph reuse: jobs sharing a graph (and reduction
+        // configuration) kernelize once; the shared `ReduceOutcome` fans
+        // out through `solve_with_kernel`. Gated on the caching layer.
+        let mut kernel_reused = false;
+        let kernel: Option<Arc<ReduceOutcome>> = if self.config.cache
+            && g.n() >= 2
+            && opts.reductions.is_enabled()
+            && solver.capabilities().kernelizable
+        {
+            match self.kernel_for(fingerprint, g, &opts) {
+                Ok((k, reused)) => {
+                    if reused {
+                        kernel_reused = true;
+                        state.kernel_reuses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    k
+                }
+                Err(e) => return report(instance, JobStatus::Failed(e), t0),
+            }
+        } else {
+            None
+        };
+
+        let solved = match &kernel {
+            Some(k) => solver.solve_with_kernel(g, &opts, k).map(|mut outcome| {
+                if kernel_reused {
+                    // The donor job already accounts for the pipeline's
+                    // wall time; zero it here so per-pass seconds summed
+                    // over the batch count the one run exactly once.
+                    for pass in &mut outcome.stats.reductions {
+                        pass.seconds = 0.0;
+                    }
+                }
+                outcome
+            }),
+            None => solver.solve(g, &opts),
+        };
+        match solved {
             Ok(outcome) => {
                 if self.config.cache {
                     self.cache.insert(
@@ -676,6 +733,41 @@ impl MinCutService {
             }
             Err(e) => report(instance, JobStatus::Failed(e), t0),
         }
+    }
+
+    /// Returns the shared kernel for `(fingerprint, reductions)`, running
+    /// the pipeline on a miss. The boolean reports whether the kernel was
+    /// served from the cache (a "kernelize once" reuse). Connected inputs
+    /// only do useful work here, but any n ≥ 2 graph is safe.
+    fn kernel_for(
+        &self,
+        fingerprint: u64,
+        g: &CsrGraph,
+        opts: &SolveOptions,
+    ) -> Result<(Option<Arc<ReduceOutcome>>, bool), MinCutError> {
+        let Some(pipeline) = ReductionPipeline::from_options(&opts.reductions)? else {
+            return Ok((None, false));
+        };
+        let key = mincut_ds::hash::fnv1a_bytes(
+            fingerprint ^ mincut_ds::hash::FNV1A_OFFSET,
+            opts.reductions.cache_key().as_bytes(),
+        );
+        if let Some(k) = self.kernels.get_cloned(&key) {
+            // The n/m check guards against a fingerprint collision; the
+            // pipeline is deterministic, so an entry that matches is
+            // exactly what this job would compute.
+            if (k.original_n, k.original_m) == (g.n(), g.m()) {
+                return Ok((Some(k), true));
+            }
+        }
+        let mut scratch = SolverStats::scratch();
+        let mut ctx = SolveContext::with_budget(&mut scratch, opts.time_budget);
+        let red = Arc::new(pipeline.run(g, None, &mut ctx)?);
+        if self.kernels.len() < self.config.cache_capacity {
+            self.kernels
+                .merge_insert(key, red.clone(), |slot, new| *slot = new);
+        }
+        Ok((Some(red), false))
     }
 
     /// Publishes a finished cut into its bound-sharing groups (the graph's
@@ -866,6 +958,41 @@ mod tests {
         assert!(report.all_ok());
         assert_eq!(report.stats.cache_hits, 0, "four distinct cache keys");
         assert_eq!(service.cache_stats().entries, 4);
+    }
+
+    #[test]
+    fn same_graph_jobs_kernelize_once() {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, l) = known::two_communities(10, 10, 2, 2, 1);
+        let g = Arc::new(g);
+        // Distinct solvers: no cut-cache hits possible, but the kernel is
+        // shared — only the first job runs the reduction pipeline.
+        let jobs = vec![
+            BatchJob::new(g.clone(), "noi"),
+            BatchJob::new(g.clone(), "stoer-wagner"),
+            BatchJob::new(g.clone(), "parcut"),
+        ];
+        let report = service.run_batch(&jobs);
+        assert!(report.all_ok());
+        assert_eq!(report.stats.cache_hits, 0);
+        assert_eq!(
+            report.stats.kernel_reuses, 2,
+            "first job kernelizes, the other two reuse"
+        );
+        for row in &report.jobs {
+            let o = row.status.outcome().unwrap();
+            assert_eq!(o.cut.value, l, "{}", row.solver);
+            assert!(
+                o.stats.kernel_n < g.n(),
+                "{}: kernel telemetry must flow through solve_with_kernel",
+                row.solver
+            );
+        }
+        // Resubmission is served by the cut cache before the kernel cache.
+        let again = service.run_batch(&jobs);
+        assert_eq!(again.stats.cache_hits, 3);
+        assert_eq!(again.stats.kernel_reuses, 0);
+        assert!(again.stats.to_json().contains("\"kernel_reuses\":0"));
     }
 
     #[test]

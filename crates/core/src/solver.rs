@@ -9,10 +9,12 @@
 use std::time::Instant;
 
 use mincut_ds::take_counters;
+use mincut_graph::components::{connected_components, smallest_component_side};
 use mincut_graph::CsrGraph;
 
 use crate::error::MinCutError;
 use crate::options::SolveOptions;
+use crate::reduce::{ReduceOutcome, ReductionPipeline, Reductions};
 use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
@@ -55,6 +57,12 @@ pub struct Capabilities {
     /// Drivers that donate bounds — the batch service's bound sharing —
     /// skip solvers without this.
     pub uses_initial_bound: bool,
+    /// The shared preflight may run the [`ReductionPipeline`] and hand
+    /// this solver the kernel instead of the input graph
+    /// ([`SolveOptions::reductions`]). True for every built-in solver;
+    /// a custom solver that inspects the original structure (e.g. one
+    /// reporting all-pairs cuts) would clear it to opt out.
+    pub kernelizable: bool,
 }
 
 /// A finished run: the cut and its telemetry.
@@ -95,20 +103,56 @@ pub trait Solver: Send + Sync {
     ///
     /// Uniform behavior across every solver: fewer than two vertices is
     /// [`MinCutError::TooFewVertices`]; a disconnected graph returns
-    /// value 0 with a component witness without running the algorithm.
+    /// value 0 with the **smallest component** as the canonical witness,
+    /// without running the algorithm. When [`SolveOptions::reductions`]
+    /// is enabled (the default) and the solver is
+    /// [kernelizable](Capabilities::kernelizable), the shared preflight
+    /// runs the [`ReductionPipeline`] first and the algorithm body only
+    /// sees the kernel; the λ̂ found during kernelization and the kernel
+    /// solve combine into the exact answer.
     fn solve(&self, g: &CsrGraph, opts: &SolveOptions) -> Result<SolveOutcome, MinCutError> {
-        opts.validate()?;
-        let t0 = Instant::now();
-        let mut stats = SolverStats::new(self.instance_name(opts), g.n(), g.m());
+        solve_impl(self, g, opts, None)
+    }
 
-        if g.n() < 2 {
-            return Err(MinCutError::TooFewVertices { n: g.n() });
-        }
-        let (comp, ncomp) = mincut_graph::components::connected_components(g);
+    /// [`Solver::solve`] against a kernel someone else already computed
+    /// (the batch service kernelizes once per graph fingerprint and fans
+    /// the result out to every job on that graph). `kernel` must come
+    /// from a [`ReductionPipeline`] run over this same `g`.
+    fn solve_with_kernel(
+        &self,
+        g: &CsrGraph,
+        opts: &SolveOptions,
+        kernel: &ReduceOutcome,
+    ) -> Result<SolveOutcome, MinCutError> {
+        solve_impl(self, g, opts, Some(kernel))
+    }
+}
+
+/// Shared body of [`Solver::solve`] / [`Solver::solve_with_kernel`].
+fn solve_impl<S: Solver + ?Sized>(
+    solver: &S,
+    g: &CsrGraph,
+    opts: &SolveOptions,
+    precomputed: Option<&ReduceOutcome>,
+) -> Result<SolveOutcome, MinCutError> {
+    opts.validate()?;
+    let t0 = Instant::now();
+    let mut stats = SolverStats::new(solver.instance_name(opts), g.n(), g.m());
+
+    if g.n() < 2 {
+        return Err(MinCutError::TooFewVertices { n: g.n() });
+    }
+    let kernelize = solver.capabilities().kernelizable && opts.reductions.is_enabled();
+    // The pipeline's mandatory component-split preamble subsumes this
+    // scan (same λ = 0, same smallest-component witness), so the O(n+m)
+    // connectivity pass runs at most once per solve — and not at all for
+    // jobs served a precomputed kernel.
+    if !kernelize {
+        let (comp, ncomp) = connected_components(g);
         if ncomp > 1 {
             stats.record_lambda(0);
             stats.total_seconds = t0.elapsed().as_secs_f64();
-            let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+            let side = smallest_component_side(&comp, ncomp);
             return Ok(SolveOutcome {
                 cut: MinCutResult {
                     value: 0,
@@ -117,19 +161,110 @@ pub trait Solver: Send + Sync {
                 stats,
             });
         }
-
-        // Harvest the calling thread's PQ counters around the run; the
-        // parallel drivers add their workers' counters explicitly.
-        let _ = take_counters();
-        let mut ctx = SolveContext::with_budget(&mut stats, opts.time_budget);
-        let result = self.run(g, opts, &mut ctx);
-        stats.add_pq_ops(take_counters());
-        let cut = result?;
-
-        stats.record_lambda(cut.value);
-        stats.total_seconds = t0.elapsed().as_secs_f64();
-        Ok(SolveOutcome { cut, stats })
     }
+
+    // Harvest the calling thread's PQ counters around the run; the
+    // parallel drivers add their workers' counters explicitly.
+    let _ = take_counters();
+    let mut ctx = SolveContext::with_budget(&mut stats, opts.time_budget);
+    let computed: ReduceOutcome;
+    let kernel: Option<&ReduceOutcome> = if !kernelize {
+        None
+    } else if let Some(k) = precomputed {
+        debug_assert_eq!((k.original_n, k.original_m), (g.n(), g.m()));
+        Some(k)
+    } else if let Some(pipeline) = ReductionPipeline::from_options(&opts.reductions)? {
+        let run = ctx.stats.time_phase("reduce", |stats| {
+            let mut inner = SolveContext {
+                stats,
+                deadline: ctx.deadline,
+                budget: ctx.budget,
+            };
+            pipeline.run(g, opts.initial_bound.clone(), &mut inner)
+        });
+        computed = run?;
+        Some(&computed)
+    } else {
+        None
+    };
+
+    let result = match kernel {
+        None => solver.run(g, opts, &mut ctx),
+        Some(red) => finish_with_kernel(solver, g, opts, red, &mut ctx),
+    };
+    stats.add_pq_ops(take_counters());
+    let cut = result?;
+
+    stats.record_lambda(cut.value);
+    stats.total_seconds = t0.elapsed().as_secs_f64();
+    Ok(SolveOutcome { cut, stats })
+}
+
+/// Runs the algorithm body on the kernel and combines its result with
+/// the kernelization bound: the pipeline invariant is
+/// `λ(G) = min(λ̂, λ(kernel))`, so taking the minimum — with the kernel
+/// witness mapped back through the membership — is exact.
+fn finish_with_kernel<S: Solver + ?Sized>(
+    solver: &S,
+    g: &CsrGraph,
+    opts: &SolveOptions,
+    red: &ReduceOutcome,
+    ctx: &mut SolveContext<'_>,
+) -> Result<MinCutResult, MinCutError> {
+    ctx.stats.kernel_n = red.kernel.n();
+    ctx.stats.kernel_m = red.kernel.m();
+    // Per-pass timings describe the pipeline run that produced `red` —
+    // for a precomputed kernel that is the donor's run. The batch
+    // service zeroes them on cache-served jobs so summed telemetry
+    // counts the one run exactly once.
+    ctx.stats.reductions = red.passes.clone();
+
+    // Fold in a caller bound the pipeline did not see (precomputed
+    // kernels are shared across jobs and computed without per-job
+    // bounds).
+    let mut lambda_hat = red.lambda_hat;
+    let mut best_side: Option<Vec<bool>> = red.side.clone();
+    if let Some((b, bside)) = &opts.initial_bound {
+        if *b < lambda_hat {
+            if let Some(s) = bside {
+                debug_assert_eq!(g.cut_value(s), *b, "initial bound witness must match");
+            }
+            lambda_hat = *b;
+            best_side = bside.clone();
+        }
+    }
+    ctx.stats.record_lambda(lambda_hat);
+
+    // λ̂ ≤ 1 is terminal on a connected graph with integer weights ≥ 1,
+    // and a fully collapsed kernel has nothing left to solve. Checked on
+    // the post-bound-fold λ̂, hence not `red.is_terminal()` directly.
+    if !crate::reduce::kernel_is_terminal(red.kernel.n(), lambda_hat) {
+        let mut kopts = opts.clone();
+        kopts.reductions = Reductions::None;
+        // λ̂'s witness generally does not survive contraction (that is
+        // the point of tracking it), so the kernel solver cannot adopt
+        // the side — but a value-only run can still adopt the cap: NOI's
+        // bounded scans then return min(λ̂, λ(kernel)), which is exactly
+        // what the combination below needs.
+        kopts.initial_bound = if opts.witness || !solver.capabilities().uses_initial_bound {
+            None
+        } else {
+            Some((lambda_hat, None))
+        };
+        let kernel_cut = solver.run(&red.kernel, &kopts, ctx)?;
+        if kernel_cut.value < lambda_hat {
+            lambda_hat = kernel_cut.value;
+            best_side = kernel_cut
+                .side
+                .map(|side| red.membership.side_of_bitmap(&side));
+        }
+    }
+    ctx.stats.record_lambda(lambda_hat);
+
+    Ok(MinCutResult {
+        value: lambda_hat,
+        side: if opts.witness { best_side } else { None },
+    })
 }
 
 impl std::fmt::Debug for dyn Solver + '_ {

@@ -24,6 +24,32 @@ pub struct PhaseTiming {
     pub seconds: f64,
 }
 
+/// Telemetry of one kernelization pass across all its rounds (the
+/// reduction pipeline's per-pass share of the shrink).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReductionPassStats {
+    /// Pass name as registered (`components`, `degree-bound`,
+    /// `heavy-edge`, `padberg-rinaldi`).
+    pub name: &'static str,
+    /// Times the pass ran (the pipeline loops to a fixpoint).
+    pub rounds: u64,
+    /// Vertices removed by this pass's contractions, summed over rounds.
+    pub vertices_removed: u64,
+    /// Edges removed likewise (merged parallel edges count as removed).
+    pub edges_removed: u64,
+    /// Wall-clock spent in the pass, summed over rounds.
+    pub seconds: f64,
+}
+
+impl ReductionPassStats {
+    pub fn new(name: &'static str) -> Self {
+        ReductionPassStats {
+            name,
+            ..Default::default()
+        }
+    }
+}
+
 /// Telemetry for a single solver run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SolverStats {
@@ -47,6 +73,14 @@ pub struct SolverStats {
     pub pq_ops: PqCounters,
     /// Named sub-phase timings.
     pub phases: Vec<PhaseTiming>,
+    /// Per-pass kernelization telemetry (empty when reductions are off).
+    pub reductions: Vec<ReductionPassStats>,
+    /// Kernel size the solver actually ran on after kernelization.
+    /// `(0, 0)` when no kernelization happened (reductions off, or the
+    /// run never reached the pipeline) — check `reductions.is_empty()`
+    /// to tell the modes apart.
+    pub kernel_n: usize,
+    pub kernel_m: usize,
     /// End-to-end wall-clock of `Solver::solve`.
     pub total_seconds: f64,
 }
@@ -66,10 +100,12 @@ impl SolverStats {
         SolverStats::default()
     }
 
-    /// Records a λ̂ value; consecutive duplicates collapse so the vector
-    /// reads as a strictly improving trajectory after the first entry.
+    /// Records a λ̂ value. After the first entry only *improvements* are
+    /// kept, so the vector reads as a strictly decreasing trajectory —
+    /// a kernel solver re-deriving its own (worse) starting bound on the
+    /// contracted graph does not pollute the record.
     pub fn record_lambda(&mut self, value: EdgeWeight) {
-        if self.lambda_trajectory.last() != Some(&value) {
+        if self.lambda_trajectory.last().is_none_or(|&l| value < l) {
             self.lambda_trajectory.push(value);
         }
     }
@@ -135,6 +171,23 @@ impl SolverStats {
             s.push('{');
             push_json_str(&mut s, "name", p.name);
             s.push_str(&format!("\"seconds\":{:.9}}}", p.seconds));
+        }
+        s.push_str("],");
+        s.push_str(&format!(
+            "\"kernel_n\":{},\"kernel_m\":{},",
+            self.kernel_n, self.kernel_m
+        ));
+        s.push_str("\"reductions\":[");
+        for (i, r) in self.reductions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_json_str(&mut s, "name", r.name);
+            s.push_str(&format!(
+                "\"rounds\":{},\"vertices_removed\":{},\"edges_removed\":{},\"seconds\":{:.9}}}",
+                r.rounds, r.vertices_removed, r.edges_removed, r.seconds
+            ));
         }
         s.push_str("],");
         s.push_str(&format!("\"total_seconds\":{:.9}", self.total_seconds));

@@ -16,11 +16,9 @@
 //! equivalent with an unconditional guarantee).
 
 use mincut_ds::{BinaryHeapPq, MaxPq};
-use mincut_graph::contract::contract_edge;
-use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 
 use crate::error::MinCutError;
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
@@ -77,7 +75,7 @@ pub fn stoer_wagner(g: &CsrGraph) -> MinCutResult {
     assert!(g.n() >= 2, "minimum cut needs at least two vertices");
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return MinCutResult {
             value: 0,
             side: Some(side),
@@ -95,6 +93,7 @@ pub(crate) fn stoer_wagner_connected(
     g: &CsrGraph,
     ctx: &mut SolveContext<'_>,
 ) -> Result<MinCutResult, MinCutError> {
+    let mut engine = ContractionEngine::new();
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
     let mut best = EdgeWeight::MAX;
@@ -112,9 +111,8 @@ pub(crate) fn stoer_wagner_connected(
             break;
         }
         ctx.stats.contracted_vertices += 1;
-        let (next, labels) = contract_edge(&current, phase.s, phase.t);
-        membership.contract(&labels, next.n());
-        current = next;
+        let next = engine.contract_edge_tracked(&current, phase.s, phase.t, &mut membership);
+        engine.recycle(std::mem::replace(&mut current, next));
     }
     Ok(MinCutResult {
         value: best,

@@ -16,15 +16,19 @@
 //! NOI, we can therefore guarantee a correct result").
 
 pub mod label_propagation;
-pub mod padberg_rinaldi;
+
+/// Moved: the Padberg–Rinaldi tests are now a shared reduction pass in
+/// [`crate::reduce`] (every solver kernelizes with them, not just
+/// VieCut). This module re-exports the pass for back-compat.
+pub mod padberg_rinaldi {
+    pub use crate::reduce::padberg_rinaldi_pass;
+}
 
 use mincut_ds::{PqKind, UnionFind};
-use mincut_graph::contract::contract_parallel;
-use mincut_graph::{CsrGraph, EdgeWeight};
+use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership};
 
 use crate::error::MinCutError;
 use crate::noi::{noi_minimum_cut_connected, NoiConfig};
-use crate::partition::Membership;
 use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
@@ -76,7 +80,7 @@ pub fn viecut_instrumented(
     let (comp, ncomp) = mincut_graph::components::connected_components(g);
     if ncomp > 1 {
         ctx.stats.record_lambda(0);
-        let side: Vec<bool> = comp.iter().map(|&c| c == comp[0]).collect();
+        let side = mincut_graph::components::smallest_component_side(&comp, ncomp);
         return Ok(MinCutResult {
             value: 0,
             side: cfg.compute_side.then_some(side),
@@ -93,6 +97,7 @@ pub(crate) fn viecut_connected(
     cfg: &VieCutConfig,
     ctx: &mut SolveContext<'_>,
 ) -> Result<MinCutResult, MinCutError> {
+    let mut engine = ContractionEngine::new();
     let mut current = g.clone();
     let mut membership = Membership::identity(g.n());
     let (dv, mut lambda) = {
@@ -124,8 +129,8 @@ pub(crate) fn viecut_connected(
         }
         if clusters < current.n() {
             ctx.stats.contracted_vertices += (current.n() - clusters) as u64;
-            current = contract_parallel(&current, &labels, clusters);
-            membership.contract(&labels, clusters);
+            let next = engine.contract_tracked(&current, &labels, clusters, &mut membership);
+            engine.recycle(std::mem::replace(&mut current, next));
             update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
             ctx.stats.record_lambda(lambda);
         }
@@ -136,8 +141,8 @@ pub(crate) fn viecut_connected(
             if unions > 0 && uf.count() > 1 {
                 let (labels, blocks) = uf.dense_labels();
                 ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-                current = contract_parallel(&current, &labels, blocks);
-                membership.contract(&labels, blocks);
+                let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+                engine.recycle(std::mem::replace(&mut current, next));
                 update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
                 ctx.stats.record_lambda(lambda);
             }

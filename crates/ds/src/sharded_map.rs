@@ -89,12 +89,27 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// Drains the map into a vector of entries (single-threaded epilogue).
     pub fn drain_into_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains the map into a caller-owned vector, appending entries. The
+    /// shards keep their allocated capacity, so a map that is drained and
+    /// refilled repeatedly (the contraction engine's round loop) stops
+    /// allocating once warm.
+    pub fn drain_into(&self, out: &mut Vec<(K, V)>) {
         for s in self.shards.iter() {
             let mut guard = s.lock();
             out.reserve(guard.len());
             out.extend(guard.drain());
         }
-        out
+    }
+
+    /// Removes every entry, keeping shard capacity for reuse.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
     }
 
     /// Visits every entry (shard by shard, holding one lock at a time).

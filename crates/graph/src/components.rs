@@ -41,6 +41,20 @@ pub fn is_connected(g: &CsrGraph) -> bool {
     k == 1
 }
 
+/// Side bitmap isolating the *smallest* connected component (ties broken
+/// by smallest component id, so the witness is deterministic). This is
+/// the uniform λ = 0 witness every solver reports for disconnected
+/// inputs: of all zero cuts, the smallest component is the canonical one.
+pub fn smallest_component_side(comp: &[NodeId], ncomp: usize) -> Vec<bool> {
+    debug_assert!(ncomp >= 1);
+    let mut sizes = vec![0usize; ncomp];
+    for &c in comp {
+        sizes[c as usize] += 1;
+    }
+    let best = (0..ncomp).min_by_key(|&c| (sizes[c], c)).unwrap() as NodeId;
+    comp.iter().map(|&c| c == best).collect()
+}
+
 /// Extracts the largest connected component.
 ///
 /// Returns the component as a graph plus the mapping from its vertex ids to
@@ -91,6 +105,23 @@ mod tests {
         assert_eq!(lcc.n(), 3);
         assert_eq!(old, vec![2, 3, 4]);
         assert_eq!(lcc.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn smallest_component_side_is_deterministic_and_minimal() {
+        let g = CsrGraph::from_edges(6, &[(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let (comp, k) = connected_components(&g);
+        let side = smallest_component_side(&comp, k);
+        // {5} is the unique smallest component.
+        assert_eq!(side, vec![false, false, false, false, false, true]);
+        assert_eq!(g.cut_value(&side), 0);
+        // Tie between {0,1} and {2,3}: smallest component id wins.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(
+            smallest_component_side(&comp, k),
+            vec![true, true, false, false]
+        );
     }
 
     #[test]

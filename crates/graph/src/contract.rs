@@ -6,110 +6,287 @@
 //! inter-block edges by summing their weights — exactly the operation
 //! `G/(u,v)` of the paper, applied to whole blocks at once.
 //!
-//! Two implementations:
-//! * [`contract`] — sequential, hash-map accumulation;
-//! * [`contract_parallel`] — §3.2 of the paper: chunks of vertices are
-//!   processed in parallel, each worker accumulates edge weights in a local
-//!   table first (the paper's optimisation for heavy block pairs: local
-//!   aggregation "to reduce synchronization overhead") and then merges into
-//!   a shared concurrent hash table.
+//! The hot path lives in the [`ContractionEngine`]: it owns double-buffered
+//! CSR scratch (the output graph of one round is rebuilt inside the buffer
+//! recycled from two rounds ago) and reusable accumulation tables (a
+//! `clear()`-and-reuse hash map for the sequential path, a drained-and-
+//! refilled [`ShardedMap`] for the parallel path of §3.2), so repeated
+//! `contract` / `contract_parallel` / `contract_edge` rounds are
+//! allocation-free once the buffers are warm. Every solver round loop in
+//! `mincut-core` drives one engine for the lifetime of its solve.
+//!
+//! **Migration note:** the free functions [`contract`], [`contract_parallel`]
+//! and [`contract_edge`] of earlier versions remain as thin wrappers that
+//! spin up a throwaway engine — same results, same cost as before. Loops
+//! that contract repeatedly should hold a [`ContractionEngine`] and feed
+//! retired graphs back through [`ContractionEngine::recycle`].
 
 use mincut_ds::hash::FxHashMap;
 use mincut_ds::{pack_edge, unpack_edge, ShardedMap};
 use rayon::prelude::*;
 
+use crate::partition::Membership;
 use crate::{CsrGraph, EdgeWeight, NodeId};
 
-/// Sequentially contracts `g` according to `labels` (vertex → block id in
-/// `[0, num_blocks)`). Returns the contracted graph on `num_blocks` vertices.
-pub fn contract(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
-    assert_eq!(labels.len(), g.n());
-    debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
-    let mut acc: FxHashMap<u64, EdgeWeight> = FxHashMap::default();
-    acc.reserve(g.m() / 2);
-    for u in 0..g.n() as NodeId {
-        let lu = labels[u as usize];
-        for (v, w) in g.arcs(u) {
-            if u < v {
-                let lv = labels[v as usize];
-                if lu != lv {
-                    *acc.entry(pack_edge(lu, lv)).or_insert(0) += w;
-                }
-            }
-        }
-    }
-    build_from_packed(num_blocks, acc.into_iter().collect())
+/// Reusable scratch state for repeated contraction rounds.
+///
+/// ```
+/// use mincut_graph::{ContractionEngine, CsrGraph};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 5)]);
+/// let mut engine = ContractionEngine::new();
+/// let c = engine.contract(&g, &[0, 1, 0, 1], 2);
+/// assert_eq!((c.n(), c.m()), (2, 1));
+/// engine.recycle(c); // hand the buffer back for the next round
+/// ```
+pub struct ContractionEngine {
+    /// Sequential accumulation table: packed block pair → summed weight.
+    acc: FxHashMap<u64, EdgeWeight>,
+    /// Shared concurrent table for the parallel path; created on first
+    /// parallel contraction and drained (capacity kept) every round.
+    shared: Option<ShardedMap<u64, EdgeWeight>>,
+    /// Sorted `(packed edge, weight)` staging area.
+    packed: Vec<(u64, EdgeWeight)>,
+    /// Unpacked normalised edge list handed to the CSR rebuild.
+    edges: Vec<(NodeId, NodeId, EdgeWeight)>,
+    /// Per-adjacency-list sort buffer for the CSR rebuild.
+    sort_scratch: Vec<(NodeId, EdgeWeight)>,
+    /// Label buffer for single-edge contractions.
+    label_scratch: Vec<NodeId>,
+    /// The spare half of the double buffer: the output graph is rebuilt
+    /// inside this (recycled) allocation.
+    spare: Option<CsrGraph>,
 }
 
-/// Parallel contraction (§3.2). Semantically identical to [`contract`].
-pub fn contract_parallel(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
-    assert_eq!(labels.len(), g.n());
-    debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
-    let n = g.n();
-    if n < 1 << 12 {
-        // Parallel set-up costs dominate on small graphs.
-        return contract(g, labels, num_blocks);
+impl Default for ContractionEngine {
+    fn default() -> Self {
+        Self::new()
     }
-    let shared: ShardedMap<u64, EdgeWeight> = ShardedMap::with_expected_len(g.m());
-    const CHUNK: usize = 1 << 13;
-    let num_chunks = n.div_ceil(CHUNK);
-    (0..num_chunks).into_par_iter().for_each(|c| {
-        let lo = c * CHUNK;
-        let hi = ((c + 1) * CHUNK).min(n);
-        // Local accumulation first: parallel edges between two heavy blocks
-        // are combined thread-locally, touching the shared table once per
-        // distinct block pair per chunk.
-        let mut local: FxHashMap<u64, EdgeWeight> = FxHashMap::default();
-        for u in lo as NodeId..hi as NodeId {
+}
+
+impl ContractionEngine {
+    /// Below this vertex count [`ContractionEngine::contract_parallel`]
+    /// runs the sequential path instead: parallel set-up costs (sharded
+    /// table locks, chunk scheduling) dominate on small graphs. This is
+    /// the single knob shared by every contraction call site and by the
+    /// reduction pipeline's contraction rounds.
+    pub const SEQUENTIAL_FALLBACK_THRESHOLD: usize = 1 << 12;
+
+    pub fn new() -> Self {
+        ContractionEngine {
+            acc: FxHashMap::default(),
+            shared: None,
+            packed: Vec::new(),
+            edges: Vec::new(),
+            sort_scratch: Vec::new(),
+            label_scratch: Vec::new(),
+            spare: None,
+        }
+    }
+
+    /// Contracts `g` according to `labels` (vertex → block id in
+    /// `[0, num_blocks)`), choosing the sequential or parallel path by
+    /// [`ContractionEngine::SEQUENTIAL_FALLBACK_THRESHOLD`]. Returns the
+    /// contracted graph on `num_blocks` vertices, built inside a recycled
+    /// buffer when one is available.
+    pub fn contract(&mut self, g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
+        if g.n() < Self::SEQUENTIAL_FALLBACK_THRESHOLD {
+            self.contract_sequential(g, labels, num_blocks)
+        } else {
+            self.contract_parallel(g, labels, num_blocks)
+        }
+    }
+
+    /// [`ContractionEngine::contract`] that also folds the round into a
+    /// [`Membership`] witness tracker, so call sites cannot forget to keep
+    /// the two in sync.
+    pub fn contract_tracked(
+        &mut self,
+        g: &CsrGraph,
+        labels: &[NodeId],
+        num_blocks: usize,
+        membership: &mut Membership,
+    ) -> CsrGraph {
+        let c = self.contract(g, labels, num_blocks);
+        membership.contract(labels, num_blocks);
+        c
+    }
+
+    /// Sequential contraction: one pass over the arcs, hash-map
+    /// accumulation.
+    pub fn contract_sequential(
+        &mut self,
+        g: &CsrGraph,
+        labels: &[NodeId],
+        num_blocks: usize,
+    ) -> CsrGraph {
+        assert_eq!(labels.len(), g.n());
+        debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
+        self.acc.clear();
+        for u in 0..g.n() as NodeId {
             let lu = labels[u as usize];
             for (v, w) in g.arcs(u) {
                 if u < v {
                     let lv = labels[v as usize];
                     if lu != lv {
-                        *local.entry(pack_edge(lu, lv)).or_insert(0) += w;
+                        *self.acc.entry(pack_edge(lu, lv)).or_insert(0) += w;
                     }
                 }
             }
         }
-        for (k, w) in local {
-            shared.add_weight(k, w);
-        }
-    });
-    build_from_packed(num_blocks, shared.drain_into_vec())
-}
+        self.packed.clear();
+        // `drain` keeps the map's capacity for the next round.
+        let acc = &mut self.acc;
+        self.packed.extend(acc.drain());
+        self.build_from_packed(num_blocks)
+    }
 
-fn build_from_packed(num_blocks: usize, mut packed: Vec<(u64, EdgeWeight)>) -> CsrGraph {
-    packed.par_sort_unstable_by_key(|&(k, _)| k);
-    let edges: Vec<(NodeId, NodeId, EdgeWeight)> = packed
-        .into_iter()
-        .map(|(k, w)| {
+    /// Parallel contraction (§3.2). Semantically identical to the
+    /// sequential path: chunks of vertices are processed in parallel, each
+    /// worker accumulates edge weights in a local table first (the paper's
+    /// optimisation for heavy block pairs: local aggregation "to reduce
+    /// synchronization overhead") and then merges into a shared concurrent
+    /// hash table. Falls back to the sequential path below
+    /// [`ContractionEngine::SEQUENTIAL_FALLBACK_THRESHOLD`] vertices.
+    pub fn contract_parallel(
+        &mut self,
+        g: &CsrGraph,
+        labels: &[NodeId],
+        num_blocks: usize,
+    ) -> CsrGraph {
+        assert_eq!(labels.len(), g.n());
+        debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
+        let n = g.n();
+        if n < Self::SEQUENTIAL_FALLBACK_THRESHOLD {
+            return self.contract_sequential(g, labels, num_blocks);
+        }
+        // Take the shared table out of `self` so the borrow checker lets
+        // the epilogue refill `self.packed`; it goes back (drained, with
+        // its capacity) right after.
+        let shared = self.shared.take().unwrap_or_else(|| ShardedMap::new(8));
+        const CHUNK: usize = 1 << 13;
+        let num_chunks = n.div_ceil(CHUNK);
+        (0..num_chunks).into_par_iter().for_each(|c| {
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(n);
+            // Local accumulation first: parallel edges between two heavy
+            // blocks are combined thread-locally, touching the shared table
+            // once per distinct block pair per chunk.
+            let mut local: FxHashMap<u64, EdgeWeight> = FxHashMap::default();
+            for u in lo as NodeId..hi as NodeId {
+                let lu = labels[u as usize];
+                for (v, w) in g.arcs(u) {
+                    if u < v {
+                        let lv = labels[v as usize];
+                        if lu != lv {
+                            *local.entry(pack_edge(lu, lv)).or_insert(0) += w;
+                        }
+                    }
+                }
+            }
+            for (k, w) in local {
+                shared.add_weight(k, w);
+            }
+        });
+        self.packed.clear();
+        shared.drain_into(&mut self.packed);
+        self.shared = Some(shared);
+        self.build_from_packed(num_blocks)
+    }
+
+    /// Contracts a single edge `{a, b}`: blocks are `{a, b}` and every
+    /// other vertex alone. Returns the contracted graph and the labelling
+    /// used. Convenience for algorithms that contract one edge at a time
+    /// (Stoer–Wagner phases, Karger–Stein leaves); loops should prefer
+    /// [`ContractionEngine::contract_edge_tracked`], which reuses the
+    /// engine's label buffer instead of allocating one per round.
+    pub fn contract_edge(&mut self, g: &CsrGraph, a: NodeId, b: NodeId) -> (CsrGraph, Vec<NodeId>) {
+        let labels = Self::edge_labels(g.n(), a, b, Vec::new());
+        let c = self.contract_sequential(g, &labels, g.n() - 1);
+        (c, labels)
+    }
+
+    /// [`ContractionEngine::contract_edge`] folding the round into a
+    /// [`Membership`], with the label buffer reused across rounds.
+    pub fn contract_edge_tracked(
+        &mut self,
+        g: &CsrGraph,
+        a: NodeId,
+        b: NodeId,
+        membership: &mut Membership,
+    ) -> CsrGraph {
+        let labels = Self::edge_labels(g.n(), a, b, std::mem::take(&mut self.label_scratch));
+        let c = self.contract_sequential(g, &labels, g.n() - 1);
+        membership.contract(&labels, g.n() - 1);
+        self.label_scratch = labels;
+        c
+    }
+
+    /// Hands a no-longer-needed graph's buffers back to the engine: the
+    /// next contraction's output is rebuilt inside them. This is the
+    /// second half of the double buffer — round loops call
+    /// `engine.recycle(mem::replace(&mut current, next))`.
+    pub fn recycle(&mut self, g: CsrGraph) {
+        if self.spare.is_none() {
+            self.spare = Some(g);
+        }
+    }
+
+    fn edge_labels(n: usize, a: NodeId, b: NodeId, mut labels: Vec<NodeId>) -> Vec<NodeId> {
+        assert_ne!(a, b);
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        labels.clear();
+        labels.reserve(n);
+        for v in 0..n as NodeId {
+            labels.push(if v == b {
+                a
+            } else if v > b {
+                v - 1
+            } else {
+                v
+            });
+        }
+        labels
+    }
+
+    /// Sorts the staged packed edges and rebuilds a CSR graph inside the
+    /// spare buffer. The single entry point to
+    /// `CsrGraph::rebuild_from_sorted_dedup_edges` for contraction: every
+    /// contraction in the workspace funnels through here.
+    fn build_from_packed(&mut self, num_blocks: usize) -> CsrGraph {
+        self.packed.par_sort_unstable_by_key(|&(k, _)| k);
+        self.edges.clear();
+        self.edges.extend(self.packed.iter().map(|&(k, w)| {
             let (u, v) = unpack_edge(k);
             (u, v, w)
-        })
-        .collect();
-    CsrGraph::from_sorted_dedup_edges(num_blocks, &edges)
+        }));
+        let mut out = self.spare.take().unwrap_or_else(CsrGraph::empty);
+        out.rebuild_from_sorted_dedup_edges(num_blocks, &self.edges, &mut self.sort_scratch);
+        out
+    }
+}
+
+/// Sequentially contracts `g` according to `labels` (vertex → block id in
+/// `[0, num_blocks)`). Returns the contracted graph on `num_blocks`
+/// vertices. Thin wrapper over a throwaway [`ContractionEngine`]; round
+/// loops should hold an engine instead.
+pub fn contract(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
+    ContractionEngine::new().contract_sequential(g, labels, num_blocks)
+}
+
+/// Parallel contraction (§3.2). Semantically identical to [`contract`];
+/// falls back to it below
+/// [`ContractionEngine::SEQUENTIAL_FALLBACK_THRESHOLD`] vertices. Thin
+/// wrapper over a throwaway [`ContractionEngine`].
+pub fn contract_parallel(g: &CsrGraph, labels: &[NodeId], num_blocks: usize) -> CsrGraph {
+    ContractionEngine::new().contract_parallel(g, labels, num_blocks)
 }
 
 /// Contracts a single edge `{a, b}`: blocks are `{a, b}` and every other
 /// vertex alone. Returns the contracted graph and the labelling used.
-/// Convenience for algorithms that contract one edge at a time
-/// (Stoer–Wagner phases, Karger–Stein leaves).
+/// Thin wrapper over a throwaway [`ContractionEngine`].
 pub fn contract_edge(g: &CsrGraph, a: NodeId, b: NodeId) -> (CsrGraph, Vec<NodeId>) {
-    assert_ne!(a, b);
-    let (a, b) = if a < b { (a, b) } else { (b, a) };
-    let n = g.n();
-    let mut labels = Vec::with_capacity(n);
-    for v in 0..n as NodeId {
-        labels.push(if v == b {
-            a
-        } else if v > b {
-            v - 1
-        } else {
-            v
-        });
-    }
-    let c = contract(g, &labels, n - 1);
-    (c, labels)
+    ContractionEngine::new().contract_edge(g, a, b)
 }
 
 #[cfg(test)]
@@ -192,5 +369,62 @@ mod tests {
         let c = contract(&g, &[0, 0, 0, 0], 1);
         assert_eq!(c.n(), 1);
         assert_eq!(c.m(), 0);
+    }
+
+    #[test]
+    fn engine_rounds_match_free_functions() {
+        // Drive one engine through several rounds with recycling; every
+        // round must be bit-identical to a fresh free-function call.
+        let n = 1 << 13;
+        let mut edges = Vec::new();
+        for v in 0..n as NodeId {
+            edges.push((v, (v + 1) % n as NodeId, (v as u64 % 5) + 1));
+            edges.push((v, (v + 31) % n as NodeId, 3));
+        }
+        let mut current = CsrGraph::from_edges(n, &edges);
+        let mut engine = ContractionEngine::new();
+        for round in 0..4 {
+            let blocks = (current.n() / 4).max(2);
+            let labels: Vec<NodeId> = (0..current.n() as NodeId)
+                .map(|v| v % blocks as NodeId)
+                .collect();
+            let expected = if round % 2 == 0 {
+                contract(&current, &labels, blocks)
+            } else {
+                contract_parallel(&current, &labels, blocks)
+            };
+            let next = if round % 2 == 0 {
+                engine.contract_sequential(&current, &labels, blocks)
+            } else {
+                engine.contract_parallel(&current, &labels, blocks)
+            };
+            assert_eq!(next, expected, "round {round}");
+            engine.recycle(std::mem::replace(&mut current, next));
+        }
+    }
+
+    #[test]
+    fn engine_tracked_contraction_updates_membership() {
+        let g = square_with_diagonal();
+        let mut engine = ContractionEngine::new();
+        let mut membership = Membership::identity(4);
+        let c = engine.contract_tracked(&g, &[0, 1, 0, 1], 2, &mut membership);
+        assert_eq!(c.n(), 2);
+        assert_eq!(
+            membership.side_of_vertices(&[0]),
+            vec![true, false, true, false]
+        );
+
+        let mut membership = Membership::identity(4);
+        let c = engine.contract_edge_tracked(&g, 0, 2, &mut membership);
+        assert_eq!(c.n(), 3);
+        assert_eq!(membership.members(0), &[0, 2]);
+    }
+
+    #[test]
+    fn threshold_constant_matches_dispatch() {
+        // One knob: the auto path must go sequential strictly below the
+        // constant (document-by-test for the reduction pipeline's reuse).
+        assert_eq!(ContractionEngine::SEQUENTIAL_FALLBACK_THRESHOLD, 1 << 12);
     }
 }

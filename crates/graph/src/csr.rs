@@ -234,71 +234,89 @@ impl CsrGraph {
     }
 
     /// Internal constructor from normalised parts; used by the builder and
-    /// by `contract`, which guarantee the invariants.
+    /// by the contraction engine, which guarantee the invariants.
     pub(crate) fn from_sorted_dedup_edges(
         n: usize,
         edges: &[(NodeId, NodeId, EdgeWeight)],
     ) -> CsrGraph {
-        // Count arc degrees.
-        let mut xadj = vec![0usize; n + 1];
+        let mut g = CsrGraph::empty();
+        g.rebuild_from_sorted_dedup_edges(n, edges, &mut Vec::new());
+        g
+    }
+
+    /// Rebuilds this graph in place from a normalised (sorted, deduplicated,
+    /// `u < v`) edge list, reusing the existing CSR buffers' capacity. This
+    /// is the allocation-free core of the
+    /// [`ContractionEngine`](crate::contract::ContractionEngine): ping-pong
+    /// between two `CsrGraph` buffers means repeated contraction rounds stop
+    /// allocating once both buffers are warm. `sort_scratch` is the caller's
+    /// reusable per-list sort buffer.
+    pub(crate) fn rebuild_from_sorted_dedup_edges(
+        &mut self,
+        n: usize,
+        edges: &[(NodeId, NodeId, EdgeWeight)],
+        sort_scratch: &mut Vec<(NodeId, EdgeWeight)>,
+    ) {
+        // Count arc degrees into xadj (prefix-summed below).
+        self.xadj.clear();
+        self.xadj.resize(n + 1, 0);
         for &(u, v, _) in edges {
             debug_assert!(u < v, "edges must be normalised u < v");
-            xadj[u as usize + 1] += 1;
-            xadj[v as usize + 1] += 1;
+            self.xadj[u as usize + 1] += 1;
+            self.xadj[v as usize + 1] += 1;
         }
         for i in 0..n {
-            xadj[i + 1] += xadj[i];
+            self.xadj[i + 1] += self.xadj[i];
         }
-        let num_arcs = xadj[n];
-        let mut adj = vec![0 as NodeId; num_arcs];
-        let mut weight = vec![0 as EdgeWeight; num_arcs];
-        let mut cursor = xadj.clone();
-        // Edges are sorted by (u, v); filling u-side in order keeps each
-        // adjacency list sorted. The v-side lists are also sorted because we
-        // scan edges in lexicographic order and v-lists receive u's
-        // ascending... they receive `u` values in the order edges are
-        // visited, which is ascending in u. Both sides stay sorted.
+        let num_arcs = self.xadj[n];
+        self.adj.clear();
+        self.adj.resize(num_arcs, 0);
+        self.weight.clear();
+        self.weight.resize(num_arcs, 0);
+        // Fill using xadj[0..n] itself as the write cursor (each slot walks
+        // from the start of its zone to the end), then shift the array right
+        // one slot to restore the canonical offsets — avoids the cursor
+        // clone the previous implementation allocated every round.
         for &(u, v, w) in edges {
-            let cu = cursor[u as usize];
-            adj[cu] = v;
-            weight[cu] = w;
-            cursor[u as usize] += 1;
-            let cv = cursor[v as usize];
-            adj[cv] = u;
-            weight[cv] = w;
-            cursor[v as usize] += 1;
+            let cu = self.xadj[u as usize];
+            self.adj[cu] = v;
+            self.weight[cu] = w;
+            self.xadj[u as usize] += 1;
+            let cv = self.xadj[v as usize];
+            self.adj[cv] = u;
+            self.weight[cv] = w;
+            self.xadj[v as usize] += 1;
         }
+        for i in (1..=n).rev() {
+            self.xadj[i] = self.xadj[i - 1];
+        }
+        self.xadj[0] = 0;
         // u-side insertions (targets v, ascending per u) interleave with
         // v-side insertions (targets u, ascending across the scan), so each
         // list is a merge of two ascending runs — but the runs interleave in
         // scan order, which is not globally sorted per list. Sort each list.
-        let mut g = CsrGraph {
-            xadj,
-            adj,
-            weight,
-            wdeg: Vec::new(),
-        };
-        g.sort_adjacency_lists();
-        g.rebuild_weighted_degrees();
-        g
+        self.sort_adjacency_lists(sort_scratch);
+        self.rebuild_weighted_degrees();
     }
 
-    fn sort_adjacency_lists(&mut self) {
+    fn sort_adjacency_lists(&mut self, scratch: &mut Vec<(NodeId, EdgeWeight)>) {
         let n = self.n();
         for v in 0..n {
             let lo = self.xadj[v];
             let hi = self.xadj[v + 1];
-            // Sort (adj, weight) pairs of this list by neighbour id.
-            let mut pairs: Vec<(NodeId, EdgeWeight)> = self.adj[lo..hi]
-                .iter()
-                .copied()
-                .zip(self.weight[lo..hi].iter().copied())
-                .collect();
-            if pairs.windows(2).all(|w| w[0].0 <= w[1].0) {
+            if self.adj[lo..hi].windows(2).all(|w| w[0] <= w[1]) {
                 continue;
             }
-            pairs.sort_unstable_by_key(|p| p.0);
-            for (i, (a, w)) in pairs.into_iter().enumerate() {
+            // Sort (adj, weight) pairs of this list by neighbour id.
+            scratch.clear();
+            scratch.extend(
+                self.adj[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(self.weight[lo..hi].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|p| p.0);
+            for (i, &(a, w)) in scratch.iter().enumerate() {
                 self.adj[lo + i] = a;
                 self.weight[lo + i] = w;
             }
@@ -307,9 +325,12 @@ impl CsrGraph {
 
     fn rebuild_weighted_degrees(&mut self) {
         let n = self.n();
-        self.wdeg = (0..n)
-            .map(|v| self.weight[self.xadj[v]..self.xadj[v + 1]].iter().sum())
-            .collect();
+        self.wdeg.clear();
+        self.wdeg.extend((0..n).map(|v| {
+            self.weight[self.xadj[v]..self.xadj[v + 1]]
+                .iter()
+                .sum::<EdgeWeight>()
+        }));
     }
 }
 

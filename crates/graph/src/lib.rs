@@ -9,7 +9,11 @@
 //!   (duplicate merging, self-loop removal) into it;
 //! * [`contract`] — weighted graph contraction, sequential and parallel
 //!   (§3.2 of the paper), collapsing union-find blocks into single vertices
-//!   while summing parallel edge weights;
+//!   while summing parallel edge weights. The [`ContractionEngine`] owns
+//!   double-buffered CSR scratch and reusable accumulation tables so
+//!   repeated contraction rounds are allocation-free after warm-up;
+//! * [`partition`] — the [`Membership`] witness tracker (§3.3) mapping
+//!   contracted vertices back to the original vertex set;
 //! * [`generators`] — the instance families of the paper's evaluation:
 //!   random hyperbolic graphs (Appendix A.1), RMAT and preferential
 //!   attachment proxies for the web/social instances, Erdős–Rényi graphs,
@@ -26,9 +30,12 @@ mod csr;
 pub mod generators;
 pub mod io;
 pub mod kcore;
+pub mod partition;
 pub mod stats;
 
+pub use contract::ContractionEngine;
 pub use csr::{CsrGraph, GraphBuilder};
+pub use partition::Membership;
 
 /// Vertex identifier. Graphs up to ~4.2 billion vertices.
 pub type NodeId = u32;

@@ -7,13 +7,18 @@
 //! one list of original vertices per current vertex, merged on contraction
 //! (total size stays n, so a full contraction history costs O(n) memory).
 
-use mincut_graph::NodeId;
+use crate::NodeId;
 
 /// Maps every vertex of the *current* (contracted) graph to the original
 /// vertices it contains.
 #[derive(Clone, Debug)]
 pub struct Membership {
     lists: Vec<Vec<NodeId>>,
+    /// Retired outer vector of the previous round, reused on the next
+    /// [`Membership::contract`] so the round loop does not allocate
+    /// (the inner lists already move allocation-free: each block reuses
+    /// its first member's buffer).
+    spare: Vec<Vec<NodeId>>,
     n_original: usize,
 }
 
@@ -22,6 +27,7 @@ impl Membership {
     pub fn identity(n: usize) -> Self {
         Membership {
             lists: (0..n as NodeId).map(|v| vec![v]).collect(),
+            spare: Vec::new(),
             n_original: n,
         }
     }
@@ -50,7 +56,9 @@ impl Membership {
     /// `labels[v]`; blocks are the vertices of the next graph.
     pub fn contract(&mut self, labels: &[NodeId], num_blocks: usize) {
         assert_eq!(labels.len(), self.lists.len());
-        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); num_blocks];
+        let mut next = std::mem::take(&mut self.spare);
+        next.clear();
+        next.resize_with(num_blocks, Vec::new);
         for (v, list) in self.lists.drain(..).enumerate() {
             let b = labels[v] as usize;
             if next[b].is_empty() {
@@ -59,7 +67,8 @@ impl Membership {
                 next[b].extend_from_slice(&list);
             }
         }
-        self.lists = next;
+        // Ping-pong: the drained outer vector becomes next round's spare.
+        self.spare = std::mem::replace(&mut self.lists, next);
     }
 
     /// Expands a set of current vertices into a side bitmap over the

@@ -22,6 +22,7 @@ use std::process::exit;
 use std::sync::Arc;
 
 use sm_mincut::algorithms::json_string as json_str;
+use sm_mincut::algorithms::{ReductionPipeline, Reductions};
 use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
 use sm_mincut::{
     BatchJob, CsrGraph, ErrorPolicy, JobStatus, MinCutError, MinCutService, ServiceConfig, Session,
@@ -76,7 +77,12 @@ OPTIONS:
   -s, --seed <N>          RNG seed (default 42)
       --budget-ms <N>     fail if a solve exceeds N milliseconds
                           (in batch mode: wall-clock budget of the batch)
+      --no-reduce         skip the kernelization pipeline (reductions are
+                          on by default and never change exact results)
+      --reductions <LIST> comma-separated kernelization passes to run,
+                          in order; known: {passes}
       --stats             print the SolverStats report as JSON on stdout
+                          (with per-pass kernelization lines on stderr)
       --side              print one side of the optimal cut
       --edges             print the cut edge set
       --list              list registered solvers and exit
@@ -94,7 +100,8 @@ BATCH MODE:
       --fail-fast         skip remaining batch jobs after a failure
 
 SOLVERS (cli name, paper name, description):
-{names}"
+{names}",
+        passes = ReductionPipeline::pass_names().join(", ")
     )
 }
 
@@ -170,6 +177,24 @@ fn parse_args() -> Options {
                     exit(2)
                 }
             },
+            "--no-reduce" => opts.opts.reductions = Reductions::None,
+            _ if a == "--reductions" || a.starts_with("--reductions=") => {
+                let list = match a.strip_prefix("--reductions=") {
+                    Some(v) => v.to_string(),
+                    None => value("--reductions"),
+                };
+                let passes: Vec<String> = list
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                let selection = Reductions::Only(passes);
+                if let Err(e) = selection.validate() {
+                    eprintln!("error: {e}");
+                    exit(2)
+                }
+                opts.opts.reductions = selection;
+            }
             "--batch" => opts.batch = Some(value("--batch")),
             "-j" | "--jobs" => match value("--jobs").parse() {
                 Ok(j) => opts.jobs = j,
@@ -437,6 +462,23 @@ fn main() {
         exit(1);
     }
     if cli.print_stats {
+        // Per-pass kernelization lines (diagnostics → stderr; the JSON on
+        // stdout carries the same numbers machine-readably).
+        for p in &outcome.stats.reductions {
+            eprintln!(
+                "reduce[{}]: -{} vertices, -{} edges in {} round(s) ({:.6} s)",
+                p.name, p.vertices_removed, p.edges_removed, p.rounds, p.seconds
+            );
+        }
+        if !outcome.stats.reductions.is_empty() {
+            eprintln!(
+                "kernel: n = {}, m = {} (from n = {}, m = {})",
+                outcome.stats.kernel_n,
+                outcome.stats.kernel_m,
+                g.n(),
+                g.m()
+            );
+        }
         println!("{}", outcome.stats.to_json());
     }
     let side = outcome.cut.side.expect("verified witness present");

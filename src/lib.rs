@@ -78,7 +78,8 @@ pub use mincut_graph as graph;
 pub use mincut_core::{
     minimum_cut, minimum_cut_seeded, Algorithm, BatchJob, BatchReport, BatchStats, CacheStats,
     Capabilities, ErrorPolicy, Guarantee, JobReport, JobStatus, Membership, MinCutError,
-    MinCutResult, MinCutService, PqKind, ServiceConfig, Session, SolveOptions, SolveOutcome,
-    Solver, SolverRegistry, SolverStats,
+    MinCutResult, MinCutService, PqKind, ReduceOutcome, ReductionPassStats, ReductionPipeline,
+    Reductions, ServiceConfig, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry,
+    SolverStats,
 };
 pub use mincut_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};

@@ -4,9 +4,10 @@
 //! tracker composes correctly over multiple rounds.
 
 use proptest::prelude::*;
-use sm_mincut::algorithms::Membership;
-use sm_mincut::graph::contract::{contract, contract_parallel};
-use sm_mincut::{CsrGraph, NodeId};
+use sm_mincut::algorithms::{Membership, SolveContext};
+use sm_mincut::graph::contract::{contract, contract_parallel, ContractionEngine};
+use sm_mincut::graph::generators::known::brute_force_mincut;
+use sm_mincut::{CsrGraph, NodeId, ReductionPipeline, SolverStats};
 
 fn graph_and_labels() -> impl Strategy<Value = (CsrGraph, Vec<NodeId>, usize)> {
     (4usize..40).prop_flat_map(|n| {
@@ -67,6 +68,49 @@ proptest! {
             .sum();
         prop_assert_eq!(c.total_edge_weight(), cross);
         prop_assert_eq!(c.n(), blocks);
+    }
+
+    /// The engine's reused-scratch output is bit-identical to the old
+    /// free functions, including across recycled rounds.
+    #[test]
+    fn engine_bit_identical_to_free_functions((g, labels, blocks) in graph_and_labels()) {
+        let mut engine = ContractionEngine::new();
+        let s = contract(&g, &labels, blocks);
+        let es = engine.contract_sequential(&g, &labels, blocks);
+        prop_assert_eq!(&s, &es);
+        let p = contract_parallel(&g, &labels, blocks);
+        let ep = engine.contract_parallel(&g, &labels, blocks);
+        prop_assert_eq!(&p, &ep);
+        prop_assert_eq!(&s, &p);
+        // A second, recycled round over the contracted graph: the warm
+        // buffers must not leak state between rounds.
+        engine.recycle(ep);
+        if blocks >= 2 {
+            let labels2: Vec<NodeId> = (0..blocks as NodeId).map(|v| v % 2).collect();
+            let s2 = contract(&es, &labels2, 2);
+            let e2 = engine.contract(&es, &labels2, 2);
+            prop_assert_eq!(s2, e2);
+        }
+    }
+
+    /// The kernelization pipeline preserves λ: min(λ̂, λ(kernel)) equals
+    /// the brute-force minimum cut, and λ̂ is backed by a real witness.
+    #[test]
+    fn reduction_pipeline_preserves_lambda((g, _, _) in graph_and_labels()) {
+        prop_assume!(g.n() >= 2 && g.n() <= 24);
+        let lambda = brute_force_mincut(&g);
+        let mut stats = SolverStats::new("reduce".into(), g.n(), g.m());
+        let mut ctx = SolveContext::new(&mut stats);
+        let red = ReductionPipeline::standard().run(&g, None, &mut ctx).unwrap();
+        let side = red.side.as_ref().expect("pipeline tracks witnesses");
+        prop_assert!(g.is_proper_cut(side));
+        prop_assert_eq!(g.cut_value(side), red.lambda_hat);
+        let kernel_lambda = if red.kernel.n() >= 2 {
+            brute_force_mincut(&red.kernel)
+        } else {
+            u64::MAX
+        };
+        prop_assert_eq!(red.lambda_hat.min(kernel_lambda), lambda);
     }
 
     #[test]

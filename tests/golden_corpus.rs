@@ -20,7 +20,8 @@ use std::sync::Arc;
 use sm_mincut::graph::generators::known::brute_force_mincut;
 use sm_mincut::graph::io::{read_edge_list, read_metis};
 use sm_mincut::{
-    BatchJob, CsrGraph, MinCutService, ServiceConfig, Session, SolveOptions, SolverRegistry,
+    BatchJob, CsrGraph, MinCutService, Reductions, ServiceConfig, Session, SolveOptions,
+    SolverRegistry,
 };
 
 /// `(file, hand-verified λ)` — keep in sync with tests/data/README.md.
@@ -34,6 +35,7 @@ const GOLDEN: &[(&str, u64)] = &[
     ("two_triangles_bridge2.txt", 2),
     ("star6.graph", 1),
     ("grid3x3.txt", 2),
+    ("two_components.txt", 0),
 ];
 
 fn load(name: &str) -> CsrGraph {
@@ -64,21 +66,61 @@ fn golden_lambdas_match_brute_force() {
     }
 }
 
+/// The full (family × queue) matrix runs with kernelization on *and*
+/// off: exact solvers must report the identical λ both ways, inexact
+/// ones a real cut ≥ λ both ways.
 #[test]
 fn full_solver_matrix_on_golden_corpus() {
-    let opts = SolveOptions::new().seed(0xC0FFEE).threads(2);
-    for (file, g, lambda) in corpus() {
+    for reductions in [Reductions::All, Reductions::None] {
+        let opts = SolveOptions::new()
+            .seed(0xC0FFEE)
+            .threads(2)
+            .reductions(reductions.clone());
+        for (file, g, lambda) in corpus() {
+            for solver in SolverRegistry::global().instances() {
+                let name = solver.instance_name(&opts);
+                let out = solver
+                    .solve(&g, &opts)
+                    .unwrap_or_else(|e| panic!("{name} on {file} ({reductions:?}): {e}"));
+                if solver.capabilities().guarantee.is_exact() {
+                    assert_eq!(out.cut.value, lambda, "{name} on {file} ({reductions:?})");
+                } else {
+                    assert!(
+                        out.cut.value >= lambda,
+                        "{name} below λ on {file} ({reductions:?})"
+                    );
+                }
+                assert!(
+                    out.cut.verify(&g),
+                    "{name} witness on {file} ({reductions:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Disconnected inputs: every registry solver reports λ = 0 with the
+/// *same* canonical witness — the smallest component — whether
+/// kernelization is on or off.
+#[test]
+fn disconnected_witness_is_uniform_across_all_solvers() {
+    let g = load("two_components.txt");
+    // Components {0,1,2} and {3,4}: the smaller one is the witness.
+    let expected = vec![false, false, false, true, true];
+    assert_eq!(g.cut_value(&expected), 0);
+    for reductions in [Reductions::All, Reductions::None] {
+        let opts = SolveOptions::new().reductions(reductions.clone());
         for solver in SolverRegistry::global().instances() {
             let name = solver.instance_name(&opts);
             let out = solver
                 .solve(&g, &opts)
-                .unwrap_or_else(|e| panic!("{name} on {file}: {e}"));
-            if solver.capabilities().guarantee.is_exact() {
-                assert_eq!(out.cut.value, lambda, "{name} on {file}");
-            } else {
-                assert!(out.cut.value >= lambda, "{name} below λ on {file}");
-            }
-            assert!(out.cut.verify(&g), "{name} witness on {file}");
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out.cut.value, 0, "{name} ({reductions:?})");
+            assert_eq!(
+                out.cut.side.as_deref(),
+                Some(&expected[..]),
+                "{name} ({reductions:?}): witness must be the smallest component"
+            );
         }
     }
 }

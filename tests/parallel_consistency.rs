@@ -4,7 +4,9 @@
 
 use sm_mincut::graph::generators::{barabasi_albert, known, random_hyperbolic_graph, RhgParams};
 use sm_mincut::graph::kcore::k_core_lcc;
-use sm_mincut::{minimum_cut_seeded, Algorithm, CsrGraph, PqKind};
+use sm_mincut::{
+    minimum_cut_seeded, Algorithm, CsrGraph, PqKind, Reductions, Session, SolveOptions,
+};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -84,6 +86,47 @@ fn fixed_seed_is_deterministic_across_thread_counts() {
             );
             assert_eq!(values[0], *l, "pq {pq}");
         }
+    }
+}
+
+/// The kernelization pipeline feeds the parallel solver (and runs its
+/// contractions through the engine's rayon path), so its results must be
+/// identical at every worker count and with reductions on or off. Runs
+/// under `RAYON_NUM_THREADS ∈ {1, 4}` in the CI matrix like the rest of
+/// this suite, covering both contraction schedules.
+#[test]
+fn kernelization_is_consistent_across_thread_counts() {
+    let instances = vec![
+        known::two_communities(14, 15, 2, 3, 1),
+        known::ring_of_cliques(6, 5, 2, 1),
+        known::grid_graph(8, 11, 2),
+    ];
+    for (g, l) in &instances {
+        for threads in [1usize, 4] {
+            for reductions in [Reductions::All, Reductions::None] {
+                let opts = SolveOptions::new()
+                    .seed(0xD5EED)
+                    .threads(threads)
+                    .reductions(reductions.clone());
+                let out = Session::new(g).options(opts).run("parcut").unwrap();
+                assert_eq!(out.cut.value, *l, "{threads} threads, {reductions:?}");
+                assert!(out.cut.verify(g), "{threads} threads, {reductions:?}");
+            }
+        }
+        // The kernel itself must be byte-stable across worker counts: the
+        // pipeline is deterministic, so the reported kernel size may not
+        // vary with RAYON_NUM_THREADS or the threads option.
+        let kernel_sizes: Vec<(usize, usize)> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let out = Session::new(g)
+                    .options(SolveOptions::new().seed(1).threads(threads))
+                    .run("noi")
+                    .unwrap();
+                (out.stats.kernel_n, out.stats.kernel_m)
+            })
+            .collect();
+        assert_eq!(kernel_sizes[0], kernel_sizes[1]);
     }
 }
 
