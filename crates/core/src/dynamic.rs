@@ -1,0 +1,659 @@
+//! Incremental minimum-cut maintenance over a mutating graph.
+//!
+//! The solvers of this crate answer one query on one frozen [`CsrGraph`];
+//! a serving deployment also sees *changing* graphs — edges appear and
+//! disappear between queries. [`DynamicMinCut`] maintains the current
+//! `(λ, witness)` pair **exactly** across edge insertions and deletions
+//! over a [`DeltaGraph`] overlay, re-solving only when an update can
+//! actually change the answer — and then seeded through the existing
+//! [`SolveOptions::initial_bound`] machinery so the re-solve starts from
+//! a proven cut instead of cold.
+//!
+//! ## The four update cases
+//!
+//! Let `W` be the maintained witness cut with value λ, and let the
+//! update touch edge `{u, v}` with weight `w`. Insertions only ever
+//! raise cut values and deletions only ever lower them, which gives:
+//!
+//! | update | crosses `W`? | new λ | work |
+//! |---|---|---|---|
+//! | insert | no  | λ (W still optimal: no cut decreased) | O(Δ) |
+//! | insert | yes | re-solve with bound λ + w (W now costs λ + w) | bounded solve |
+//! | delete | yes | **λ − w exactly**, same witness | O(Δ) |
+//! | delete | no  | re-solve with bound λ (W still costs λ) | bounded solve |
+//!
+//! The crossing-deletion case needs no re-solve at all: every cut loses
+//! at most `w` (only cuts crossing `{u, v}` lose anything), so no cut
+//! can drop below λ − w — and `W` lands on λ − w exactly. Deleting a
+//! crossing bridge degenerates gracefully: λ − w = 0 and `W` is a
+//! component side. Both re-solve cases run the full
+//! [`Solver`](crate::Solver) preflight — kernelization pipeline seeded
+//! with the bound, then the registered solver family on the
+//! [compacted](DeltaGraph::compact) graph — so every registry family
+//! works; the maintained value carries the family's guarantee (exact
+//! families maintain λ exactly).
+//!
+//! ## Traces
+//!
+//! [`parse_trace`] reads the `mincut --stream` edge-trace format: one
+//! operation per line, `i u v w` (insert), `d u v` (delete), `q`
+//! (query), with `#`/`%` comments. Malformed lines are
+//! [`MinCutError::TraceParse`] values carrying the line number.
+//!
+//! ```
+//! use mincut_core::{DynamicMinCut, SolveOptions};
+//! use mincut_graph::CsrGraph;
+//!
+//! // A square: λ = 2.
+//! let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+//! let mut dyn_cut = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new()).unwrap();
+//! assert_eq!(dyn_cut.lambda(), 2);
+//!
+//! // A heavy chord never lowers λ; crossing inserts re-solve bounded.
+//! assert_eq!(dyn_cut.insert_edge(0, 2, 5).unwrap().lambda, 2);
+//!
+//! // Dropping 1–2 leaves vertex 1 hanging off one unit edge: λ = 1.
+//! assert_eq!(dyn_cut.delete_edge(1, 2).unwrap().lambda, 1);
+//! assert_eq!(dyn_cut.graph().cut_value(dyn_cut.witness()), 1);
+//! ```
+
+use std::io::BufRead;
+
+use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, NodeId};
+
+use crate::error::MinCutError;
+use crate::options::SolveOptions;
+use crate::SolverRegistry;
+
+/// One operation of an edge-update trace (`i u v w` / `d u v` / `q`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `i u v w`: insert the undirected edge `{u, v}` with weight `w`
+    /// (merging with an existing edge by summing, the builder rule).
+    Insert { u: NodeId, v: NodeId, w: EdgeWeight },
+    /// `d u v`: delete the edge `{u, v}` entirely.
+    Delete { u: NodeId, v: NodeId },
+    /// `q`: report the current λ.
+    Query,
+}
+
+/// Parses one trace line (1-based `lineno` for errors) against a graph
+/// on `n` vertices. Returns `None` for blank and `#`/`%` comment lines.
+pub fn parse_trace_op(line: &str, lineno: usize, n: usize) -> Result<Option<TraceOp>, MinCutError> {
+    let err = |message: String| MinCutError::TraceParse {
+        line: lineno,
+        message,
+    };
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        return Ok(None);
+    }
+    let mut tok = t.split_whitespace();
+    let op = tok.next().expect("non-empty line has a first token");
+    let mut vertex = |what: &str| -> Result<NodeId, MinCutError> {
+        let token = tok
+            .next()
+            .ok_or_else(|| err(format!("missing {what} vertex")))?;
+        if token.starts_with('-') {
+            return Err(err(format!("negative vertex id {token} not allowed")));
+        }
+        let id: u64 = token
+            .parse()
+            .map_err(|e| err(format!("invalid {what} vertex {token:?}: {e}")))?;
+        if id >= n as u64 {
+            return Err(err(format!("vertex {id} out of range 0..{n}")));
+        }
+        Ok(id as NodeId)
+    };
+    let parsed = match op {
+        "i" => {
+            let u = vertex("source")?;
+            let v = vertex("target")?;
+            let token = tok.next().ok_or_else(|| err("missing weight".into()))?;
+            if token.starts_with('-') {
+                return Err(err(format!("negative weight {token} not allowed")));
+            }
+            let w: EdgeWeight = token
+                .parse()
+                .map_err(|e| err(format!("invalid weight {token:?}: {e}")))?;
+            if w == 0 {
+                return Err(err("zero-weight insert not allowed".into()));
+            }
+            if u == v {
+                return Err(err(format!("self-loop on vertex {u} not allowed")));
+            }
+            TraceOp::Insert { u, v, w }
+        }
+        "d" => {
+            let u = vertex("source")?;
+            let v = vertex("target")?;
+            if u == v {
+                return Err(err(format!("self-loop on vertex {u} not allowed")));
+            }
+            TraceOp::Delete { u, v }
+        }
+        "q" => TraceOp::Query,
+        other => {
+            return Err(err(format!(
+                "unknown operation {other:?} (expected i, d or q)"
+            )))
+        }
+    };
+    if let Some(extra) = tok.next() {
+        return Err(err(format!("unexpected trailing token {extra:?}")));
+    }
+    Ok(Some(parsed))
+}
+
+/// Parses a whole trace: one [`TraceOp`] per non-comment line.
+pub fn parse_trace<R: BufRead>(reader: R, n: usize) -> Result<Vec<TraceOp>, MinCutError> {
+    let mut ops = Vec::new();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| MinCutError::TraceParse {
+            line: no + 1,
+            message: format!("I/O error: {e}"),
+        })?;
+        if let Some(op) = parse_trace_op(&line, no + 1, n)? {
+            ops.push(op);
+        }
+    }
+    Ok(ops)
+}
+
+/// What one applied update reports back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The maintained cut value after the update.
+    pub lambda: EdgeWeight,
+    /// Whether a solver ran (`false`: the update was absorbed in O(Δ)).
+    pub resolved: bool,
+    /// The graph epoch after the update (unchanged for [`TraceOp::Query`]).
+    pub epoch: u64,
+}
+
+/// Cumulative counters of one [`DynamicMinCut`]'s lifetime.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DynamicStats {
+    pub insertions: u64,
+    pub deletions: u64,
+    pub queries: u64,
+    /// Updates absorbed in O(Δ) without running a solver.
+    pub incremental: u64,
+    /// Bound-seeded re-solves (including the initial solve).
+    pub resolves: u64,
+    /// Wall-clock spent inside re-solves.
+    pub resolve_seconds: f64,
+}
+
+impl DynamicStats {
+    /// One JSON object, matching the other hand-rolled emitters of this
+    /// offline build.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"insertions\":{},\"deletions\":{},\"queries\":{},\"incremental\":{},\
+             \"resolves\":{},\"resolve_seconds\":{:.9}}}",
+            self.insertions,
+            self.deletions,
+            self.queries,
+            self.incremental,
+            self.resolves,
+            self.resolve_seconds
+        )
+    }
+}
+
+/// Maintains `(λ, witness)` exactly across edge updates: see the
+/// [module docs](self) for the case analysis.
+pub struct DynamicMinCut {
+    graph: DeltaGraph,
+    solver: String,
+    opts: SolveOptions,
+    lambda: EdgeWeight,
+    /// Witness side of `lambda` over the (fixed) vertex set. Always
+    /// tracked — the crossing test is the heart of the maintenance — so
+    /// [`SolveOptions::witness`] is forced on internally.
+    side: Vec<bool>,
+    stats: DynamicStats,
+    /// Set when a re-solve failed *after* its mutation was applied: the
+    /// graph and `(λ, witness)` are out of sync, so every further
+    /// operation is refused instead of serving a silently wrong λ.
+    poisoned: Option<String>,
+}
+
+impl DynamicMinCut {
+    /// Wraps `graph` and runs the initial solve with the named registry
+    /// solver under `opts` (`witness` is forced on; an
+    /// `initial_bound` in `opts` seeds only this first solve).
+    pub fn new(
+        graph: impl Into<DeltaGraph>,
+        solver: &str,
+        opts: SolveOptions,
+    ) -> Result<Self, MinCutError> {
+        let mut opts = opts;
+        opts.witness = true;
+        opts.validate()?;
+        // Resolve now so a typo fails at construction, not mid-trace.
+        SolverRegistry::global().resolve(solver)?;
+        let mut this = DynamicMinCut {
+            graph: graph.into(),
+            solver: solver.to_string(),
+            opts,
+            lambda: 0,
+            side: Vec::new(),
+            stats: DynamicStats::default(),
+            poisoned: None,
+        };
+        this.resolve(None)?;
+        this.opts.initial_bound = None; // the caller's bound was one-shot
+        Ok(this)
+    }
+
+    /// Current maintained cut value.
+    #[inline]
+    pub fn lambda(&self) -> EdgeWeight {
+        self.lambda
+    }
+
+    /// Witness side of [`lambda`](DynamicMinCut::lambda) over the vertex
+    /// set; always a proper cut of the current graph whose
+    /// [`cut_value`](DeltaGraph::cut_value) equals λ.
+    #[inline]
+    pub fn witness(&self) -> &[bool] {
+        &self.side
+    }
+
+    /// The underlying dynamic graph.
+    #[inline]
+    pub fn graph(&self) -> &DeltaGraph {
+        &self.graph
+    }
+
+    /// Current graph epoch (mutations applied so far).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Lifetime counters.
+    #[inline]
+    pub fn stats(&self) -> &DynamicStats {
+        &self.stats
+    }
+
+    /// Mutable access to the options future re-solves run under (e.g. to
+    /// adjust threads or the time budget mid-stream). Witness tracking
+    /// stays forced on regardless of what is set here.
+    pub fn options_mut(&mut self) -> &mut SolveOptions {
+        &mut self.opts
+    }
+
+    /// The registry solver name re-solves run.
+    #[inline]
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// Why this maintainer refuses further operations, if a re-solve
+    /// failed after its mutation was applied (`None`: consistent). A
+    /// poisoned maintainer must be rebuilt with [`DynamicMinCut::new`].
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Errors when the maintainer is [poisoned](DynamicMinCut::poisoned):
+    /// the graph holds an update whose re-solve failed, so the maintained
+    /// `(λ, witness)` no longer describes it. Checked by every operation
+    /// (and by the service before serving λ) so a failed re-solve can
+    /// never turn into a silently wrong answer.
+    pub fn check_consistent(&self) -> Result<(), MinCutError> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(why) => Err(MinCutError::InvalidUpdate {
+                message: format!(
+                    "maintainer poisoned by a failed re-solve ({why}); rebuild it from the \
+                     current graph"
+                ),
+            }),
+        }
+    }
+
+    /// Applies one trace operation.
+    pub fn apply(&mut self, op: &TraceOp) -> Result<UpdateReport, MinCutError> {
+        match *op {
+            TraceOp::Insert { u, v, w } => self.insert_edge(u, v, w),
+            TraceOp::Delete { u, v } => self.delete_edge(u, v),
+            TraceOp::Query => {
+                self.check_consistent()?;
+                self.stats.queries += 1;
+                Ok(self.report(false))
+            }
+        }
+    }
+
+    /// Inserts the edge `{u, v}` with weight `w` and updates `(λ,
+    /// witness)`: no work beyond the overlay write unless the edge
+    /// crosses the witness, in which case a re-solve runs with
+    /// `initial_bound = λ + w`.
+    pub fn insert_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        w: EdgeWeight,
+    ) -> Result<UpdateReport, MinCutError> {
+        self.check_consistent()?;
+        self.check_endpoints(u, v)?;
+        if w == 0 {
+            return Err(MinCutError::InvalidUpdate {
+                message: format!("zero-weight insert on edge ({u},{v})"),
+            });
+        }
+        let crossing = self.side[u as usize] != self.side[v as usize];
+        self.graph.insert_edge(u, v, w);
+        self.stats.insertions += 1;
+        if crossing {
+            // The old witness is still a real cut, now of value λ + w:
+            // the exact upper bound the re-solve starts from.
+            let bound = self.lambda + w;
+            let side = self.side.clone();
+            self.resolve(Some((bound, side)))?;
+        } else {
+            // No cut got cheaper and the witness kept its value: λ holds.
+            self.stats.incremental += 1;
+        }
+        Ok(self.report(crossing))
+    }
+
+    /// Deletes the edge `{u, v}` and updates `(λ, witness)`: a crossing
+    /// deletion lands on λ − w with the same witness **without solving**
+    /// (no cut can lose more than w); a non-crossing deletion re-solves
+    /// with `initial_bound = λ` (the witness kept its value but some
+    /// other cut may now be cheaper).
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReport, MinCutError> {
+        self.check_consistent()?;
+        self.check_endpoints(u, v)?;
+        let crossing = self.side[u as usize] != self.side[v as usize];
+        let Some(w) = self.graph.delete_edge(u, v) else {
+            return Err(MinCutError::InvalidUpdate {
+                message: format!("no edge ({u},{v}) to delete"),
+            });
+        };
+        self.stats.deletions += 1;
+        if crossing {
+            // Exact: every cut loses at most w, the witness loses exactly
+            // w. (λ ≥ w always holds here: the witness's crossing weight
+            // is λ and includes this edge.)
+            self.lambda -= w;
+            self.stats.incremental += 1;
+            Ok(self.report(false))
+        } else {
+            let side = self.side.clone();
+            self.resolve(Some((self.lambda, side)))?;
+            Ok(self.report(true))
+        }
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), MinCutError> {
+        let n = self.graph.n();
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(MinCutError::InvalidUpdate {
+                message: format!("edge ({u},{v}) out of range for n={n}"),
+            });
+        }
+        if u == v {
+            return Err(MinCutError::InvalidUpdate {
+                message: format!("self-loop on vertex {u} not allowed"),
+            });
+        }
+        Ok(())
+    }
+
+    fn report(&self, resolved: bool) -> UpdateReport {
+        UpdateReport {
+            lambda: self.lambda,
+            resolved,
+            epoch: self.graph.epoch(),
+        }
+    }
+
+    /// Compacts the overlay and runs the registered solver on the
+    /// resulting [`CsrGraph`], seeded with `bound` (a proven cut of the
+    /// *current* graph) through the standard preflight — kernelization
+    /// pipeline included. A failure here (time budget, bad options)
+    /// lands *after* the triggering mutation was applied, so it poisons
+    /// the maintainer: `(λ, witness)` no longer describes the graph and
+    /// every later operation is refused (see
+    /// [`check_consistent`](DynamicMinCut::check_consistent)).
+    fn resolve(&mut self, bound: Option<(EdgeWeight, Vec<bool>)>) -> Result<(), MinCutError> {
+        self.graph.compact();
+        let mut opts = self.opts.clone();
+        opts.witness = true;
+        if let Some((b, side)) = bound {
+            debug_assert_eq!(
+                self.graph.cut_value(&side),
+                b,
+                "seed bound must be the exact value of its witness"
+            );
+            opts.initial_bound = Some((b, Some(side)));
+        }
+        let solved = SolverRegistry::global()
+            .resolve(&self.solver)
+            .and_then(|solver| solver.solve(self.graph.base(), &opts))
+            .and_then(|out| {
+                out.cut
+                    .side
+                    .ok_or_else(|| MinCutError::InvalidUpdate {
+                        message: format!(
+                            "solver {} returned no witness; dynamic maintenance needs one",
+                            self.solver
+                        ),
+                    })
+                    .map(|side| (out.cut.value, side, out.stats.total_seconds))
+            });
+        match solved {
+            Ok((lambda, side, seconds)) => {
+                self.stats.resolves += 1;
+                self.stats.resolve_seconds += seconds;
+                self.lambda = lambda;
+                self.side = side;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DynamicMinCut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicMinCut")
+            .field("solver", &self.solver)
+            .field("lambda", &self.lambda)
+            .field("epoch", &self.graph.epoch())
+            .finish()
+    }
+}
+
+/// Materialises the current state of a [`DeltaGraph`] as a fresh
+/// [`CsrGraph`] without mutating it — a convenience alias for
+/// [`DeltaGraph::to_csr`] (the maintainer itself uses
+/// [`DeltaGraph::compact`]).
+pub fn materialize(g: &DeltaGraph) -> CsrGraph {
+    g.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mincut_graph::generators::known;
+    use std::io::Cursor;
+
+    #[test]
+    fn trace_parser_accepts_the_documented_format() {
+        let text = "# comment\n\ni 0 1 3\nd 2 3\nq\n% tail comment\n";
+        let ops = parse_trace(Cursor::new(text), 5).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Insert { u: 0, v: 1, w: 3 },
+                TraceOp::Delete { u: 2, v: 3 },
+                TraceOp::Query,
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_parser_rejections_carry_line_numbers() {
+        for (text, needle) in [
+            ("x 0 1\n", "unknown operation"),
+            ("i 0 1\n", "missing weight"),
+            ("i 0 9 1\n", "out of range"),
+            ("d 9 0\n", "out of range"),
+            ("i 0 1 -3\n", "negative"),
+            ("d -1 0\n", "negative"),
+            ("i 0 1 0\n", "zero-weight"),
+            ("i 2 2 1\n", "self-loop"),
+            ("d 2 2\n", "self-loop"),
+            ("q extra\n", "trailing"),
+            ("i 0 1 2 9\n", "trailing"),
+            ("d 0\n", "missing target"),
+            ("i a 1 2\n", "invalid source"),
+        ] {
+            let err = parse_trace(Cursor::new(format!("q\n{text}")), 5).expect_err(text);
+            match err {
+                MinCutError::TraceParse { line, message } => {
+                    assert_eq!(line, 2, "{text:?}");
+                    assert!(message.contains(needle), "{text:?}: {message}");
+                }
+                other => panic!("{text:?}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_lambda_tracks_every_update_case() {
+        // Square 0-1-2-3, λ = 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let mut dm = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new().seed(3)).unwrap();
+        assert_eq!(dm.lambda(), 2);
+        assert_eq!(dm.graph().cut_value(dm.witness()), 2);
+
+        // Heavy chord: λ stays 2 whatever the witness was.
+        let r = dm.insert_edge(0, 2, 5).unwrap();
+        assert_eq!(r.lambda, 2);
+
+        // Drop 1-2: vertex 1 hangs off 0 alone → λ = 1.
+        let r = dm.delete_edge(1, 2).unwrap();
+        assert_eq!(r.lambda, 1);
+        assert_eq!(dm.graph().cut_value(dm.witness()), 1);
+
+        // Drop 0-1: vertex 1 isolated → disconnected, λ = 0.
+        let r = dm.delete_edge(0, 1).unwrap();
+        assert_eq!(r.lambda, 0);
+        assert!(dm.graph().is_proper_cut(dm.witness()));
+        assert_eq!(dm.graph().cut_value(dm.witness()), 0);
+
+        // Reconnect 1 with weight 4: λ = min over cuts; {1} costs 4,
+        // {3} costs 1+5? 3 has edges 2-3 (1), 3-0 (1) → 2. λ = 2.
+        let r = dm.insert_edge(1, 2, 4).unwrap();
+        assert_eq!(r.lambda, 2);
+        assert_eq!(dm.graph().cut_value(dm.witness()), 2);
+        assert_eq!(dm.epoch(), 4);
+        assert_eq!(dm.stats().insertions, 2);
+        assert_eq!(dm.stats().deletions, 2);
+        assert!(dm.stats().resolves >= 1);
+        assert!(dm.stats().to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn crossing_deletion_is_incremental_and_exact() {
+        // Two heavy communities joined by one weight-2 bridge: every
+        // solver's witness is the community split, so deleting the
+        // bridge is a crossing deletion → λ 2 → 0 without a solve.
+        let (g, l) = known::two_communities(6, 6, 1, 2, 3);
+        assert_eq!(l, 3);
+        let mut dm = DynamicMinCut::new(g, "stoer-wagner", SolveOptions::new()).unwrap();
+        let resolves_before = dm.stats().resolves;
+        let r = dm.delete_edge(0, 6).unwrap(); // the planted bridge
+        assert_eq!(r.lambda, 0);
+        assert!(!r.resolved);
+        assert_eq!(dm.stats().resolves, resolves_before, "no solver ran");
+        assert_eq!(dm.stats().incremental, 1);
+        assert_eq!(materialize(dm.graph()).cut_value(dm.witness()), 0);
+    }
+
+    #[test]
+    fn invalid_updates_are_errors_and_leave_state_untouched() {
+        let (g, l) = known::cycle_graph(5, 2);
+        let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+        let epoch = dm.epoch();
+        assert!(matches!(
+            dm.insert_edge(0, 0, 1),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+        assert!(matches!(
+            dm.insert_edge(0, 9, 1),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+        assert!(matches!(
+            dm.insert_edge(0, 2, 0),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+        assert!(matches!(
+            dm.delete_edge(0, 2), // chord absent in a cycle
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+        assert_eq!(dm.epoch(), epoch);
+        assert_eq!(dm.lambda(), l);
+    }
+
+    #[test]
+    fn failed_resolve_poisons_the_maintainer_instead_of_serving_stale_lambda() {
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1); // bridge (0,6)
+        let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+        assert_eq!(dm.lambda(), l);
+        assert!(dm.poisoned().is_none());
+
+        // Make the next re-solve fail: a crossing insert mutates the
+        // graph first, then the zero budget trips inside the solve.
+        dm.options_mut().time_budget = Some(std::time::Duration::ZERO);
+        let err = dm.insert_edge(1, 7, 1).unwrap_err();
+        assert!(matches!(err, MinCutError::TimeBudgetExceeded { .. }));
+
+        // The mutation stuck but (λ, witness) did not: every further
+        // operation is refused rather than answered wrongly.
+        assert!(dm.poisoned().is_some());
+        for result in [
+            dm.apply(&TraceOp::Query),
+            dm.insert_edge(2, 8, 1),
+            dm.delete_edge(0, 6),
+        ] {
+            match result {
+                Err(MinCutError::InvalidUpdate { message }) => {
+                    assert!(message.contains("poisoned"), "{message}")
+                }
+                other => panic!("expected poisoned error, got {other:?}"),
+            }
+        }
+        assert!(dm.check_consistent().is_err());
+    }
+
+    #[test]
+    fn unknown_solver_fails_at_construction() {
+        let (g, _) = known::cycle_graph(4, 1);
+        assert!(matches!(
+            DynamicMinCut::new(g, "no-such-solver", SolveOptions::new()),
+            Err(MinCutError::UnknownSolver { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_vertices_fails_at_construction() {
+        let g = CsrGraph::from_edges(1, &[]);
+        assert!(matches!(
+            DynamicMinCut::new(g, "noi", SolveOptions::new()),
+            Err(MinCutError::TooFewVertices { n: 1 })
+        ));
+    }
+}

@@ -24,6 +24,13 @@ pub enum MinCutError {
     InvalidOptions { message: String },
     /// The optional time budget ran out before the solver finished.
     TimeBudgetExceeded { budget: Duration },
+    /// A dynamic-graph update was rejected (self-loop, zero weight,
+    /// out-of-range endpoint, deleting a missing edge, or an unknown
+    /// dynamic handle). The graph is unchanged.
+    InvalidUpdate { message: String },
+    /// A line of an edge-update trace (`i u v w` / `d u v` / `q`) failed
+    /// to parse, with its 1-based line number.
+    TraceParse { line: usize, message: String },
 }
 
 impl std::fmt::Display for MinCutError {
@@ -47,6 +54,12 @@ impl std::fmt::Display for MinCutError {
                     f,
                     "time budget of {budget:?} exhausted before the solver finished"
                 )
+            }
+            MinCutError::InvalidUpdate { message } => {
+                write!(f, "invalid graph update: {message}")
+            }
+            MinCutError::TraceParse { line, message } => {
+                write!(f, "trace line {line}: {message}")
             }
         }
     }

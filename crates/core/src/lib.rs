@@ -113,6 +113,32 @@
 //! assert_eq!(report.stats.cache_hits, 1);
 //! ```
 //!
+//! ## Dynamic updates
+//!
+//! Real traffic mutates its graphs. [`DynamicMinCut`] maintains
+//! `(λ, witness)` exactly across edge insertions and deletions over a
+//! [`DeltaGraph`](mincut_graph::DeltaGraph) overlay, re-solving — seeded
+//! through [`SolveOptions::initial_bound`] — only when an update crosses
+//! the witness in a way that can change the answer (see the
+//! [`dynamic`] module docs for the case analysis). The service exposes
+//! it with `(fingerprint, epoch)` cache keys, and the CLI as
+//! `mincut --stream <trace>`:
+//!
+//! ```
+//! use mincut_core::{DynamicMinCut, SolveOptions};
+//! use mincut_graph::generators::known;
+//!
+//! let (g, l) = known::two_communities(8, 8, 1, 2, 1); // one unit bridge
+//! let mut dyn_cut = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new()).unwrap();
+//! assert_eq!(dyn_cut.lambda(), l);
+//!
+//! // A second bridge doubles the community cut; the re-solve is seeded
+//! // with the old witness at λ + w.
+//! assert_eq!(dyn_cut.insert_edge(1, 9, 1).unwrap().lambda, 2);
+//! // Deleting a crossing bridge is exact *without* a solver run.
+//! assert_eq!(dyn_cut.delete_edge(0, 8).unwrap().lambda, 1);
+//! ```
+//!
 //! The enum-based front door of earlier versions remains as a thin shim:
 //!
 //! ```
@@ -126,6 +152,7 @@
 //! ```
 
 pub mod capforest;
+pub mod dynamic;
 mod error;
 pub mod karger_stein;
 pub mod matula;
@@ -140,6 +167,9 @@ mod stats;
 pub mod stoer_wagner;
 pub mod viecut;
 
+pub use dynamic::{
+    materialize, parse_trace, parse_trace_op, DynamicMinCut, DynamicStats, TraceOp, UpdateReport,
+};
 pub use error::MinCutError;
 pub use mincut_ds::PqKind;
 pub use mincut_graph::Membership;
@@ -147,8 +177,8 @@ pub use options::SolveOptions;
 pub use reduce::{ReduceOutcome, Reduction, ReductionPipeline, Reductions};
 pub use registry::{SolverEntry, SolverRegistry};
 pub use service::{
-    BatchJob, BatchReport, BatchStats, CacheStats, ErrorPolicy, JobReport, JobStatus,
-    MinCutService, ServiceConfig,
+    BatchJob, BatchReport, BatchStats, CacheStats, DynamicHandle, ErrorPolicy, JobReport,
+    JobStatus, MinCutService, ServiceConfig,
 };
 pub use solver::{Capabilities, Guarantee, Session, SolveOutcome, Solver};
 pub use stats::{json_string, PhaseTiming, ReductionPassStats, SolveContext, SolverStats};

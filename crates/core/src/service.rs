@@ -22,6 +22,11 @@
 //!   seeding (§3.1.1) applied across a whole sweep. Cross-graph family
 //!   bounds are re-evaluated on the receiving graph before use
 //!   (`cut_value` of the witness side), so exactness is never lost.
+//! * **Dynamic graphs** — [`MinCutService::register_dynamic`] hosts a
+//!   mutating graph behind a [`DynamicMinCut`] maintainer; updates and
+//!   queries are served with `(origin_fingerprint, epoch)` cache keys,
+//!   so a mutation can never be answered from a stale entry, and every
+//!   epoch advance is tallied in [`CacheStats::invalidations`].
 //! * **Budgets and policies** — an optional per-batch wall-clock budget
 //!   clamps every job's [`SolveOptions::time_budget`] to the remaining
 //!   batch time; [`ErrorPolicy::FailFast`] skips the rest of a batch
@@ -55,8 +60,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mincut_ds::ShardedMap;
-use mincut_graph::{CsrGraph, EdgeWeight};
+use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight};
 
+use crate::dynamic::{DynamicMinCut, DynamicStats, TraceOp, UpdateReport};
 use crate::error::MinCutError;
 use crate::options::SolveOptions;
 use crate::reduce::{ReduceOutcome, ReductionPipeline};
@@ -326,6 +332,12 @@ pub struct CacheStats {
     pub misses: u64,
     pub insertions: u64,
     pub entries: usize,
+    /// Entries invalidated by a dynamic-graph mutation: each epoch
+    /// advance removes the previous epoch's cached result (the
+    /// `(fingerprint, epoch)` key scheme means it could never be served
+    /// again), so a long update stream cannot saturate the cache with
+    /// dead entries.
+    pub invalidations: u64,
 }
 
 /// The memoised result of one (graph, solver configuration) pair.
@@ -350,6 +362,7 @@ struct CutCache {
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CutCache {
@@ -359,6 +372,7 @@ impl CutCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -374,14 +388,13 @@ impl CutCache {
         &self,
         fingerprint: u64,
         config: &str,
-        g: &CsrGraph,
+        n: usize,
+        m: usize,
     ) -> Option<(EdgeWeight, Option<Vec<bool>>)> {
         let found = self
             .map
             .get_cloned(&Self::key(fingerprint, config))
-            .filter(|e| {
-                e.fingerprint == fingerprint && e.config == config && e.n == g.n() && e.m == g.m()
-            })
+            .filter(|e| e.fingerprint == fingerprint && e.config == config && e.n == n && e.m == m)
             .map(|e| (e.value, e.side));
         match found {
             Some(hit) => {
@@ -399,7 +412,7 @@ impl CutCache {
         &self,
         fingerprint: u64,
         config: &str,
-        g: &CsrGraph,
+        (n, m): (usize, usize),
         value: EdgeWeight,
         side: Option<Vec<bool>>,
         capacity: usize,
@@ -413,8 +426,8 @@ impl CutCache {
         let entry = CacheEntry {
             fingerprint,
             config: config.to_string(),
-            n: g.n(),
-            m: g.m(),
+            n,
+            m,
             value,
             side,
         };
@@ -424,12 +437,22 @@ impl CutCache {
             });
     }
 
+    /// Reclaims the entry a mutation made stale: the epoch-keyed scheme
+    /// guarantees `(fingerprint, config)` can never be served again, so
+    /// the slot (and its O(n) witness) goes back to the cache budget.
+    fn invalidate(&self, fingerprint: u64, config: &str) {
+        if self.map.remove(&Self::key(fingerprint, config)).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             entries: self.map.len(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -460,6 +483,26 @@ struct BatchState<'a> {
     deadline: Option<Instant>,
 }
 
+/// Opaque identifier of a dynamic graph hosted by a [`MinCutService`]
+/// (see [`MinCutService::register_dynamic`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DynamicHandle(u64);
+
+/// One hosted dynamic graph: the maintainer plus its epoch-less cache
+/// configuration prefix.
+struct DynamicEntry {
+    maintainer: Mutex<DynamicMinCut>,
+    /// Cache-key prefix identifying the solver configuration; the
+    /// current epoch is appended per lookup/insert.
+    config: String,
+}
+
+impl DynamicEntry {
+    fn epoch_config(&self, epoch: u64) -> String {
+        format!("{}|epoch={epoch}", self.config)
+    }
+}
+
 /// The batch serving layer: see the [module docs](self).
 pub struct MinCutService {
     config: ServiceConfig,
@@ -468,6 +511,9 @@ pub struct MinCutService {
     /// the shared [`ReduceOutcome`], so batch jobs on the same graph
     /// kernelize once. Persists across batches, like the cut cache.
     kernels: ShardedMap<u64, Arc<ReduceOutcome>>,
+    /// Hosted dynamic graphs ([`MinCutService::register_dynamic`]).
+    dynamic: Mutex<std::collections::HashMap<u64, Arc<DynamicEntry>>>,
+    next_dynamic: AtomicU64,
 }
 
 impl Default for MinCutService {
@@ -482,6 +528,8 @@ impl MinCutService {
             config,
             cache: CutCache::new(),
             kernels: ShardedMap::new(4),
+            dynamic: Mutex::new(std::collections::HashMap::new()),
+            next_dynamic: AtomicU64::new(0),
         }
     }
 
@@ -506,6 +554,147 @@ impl MinCutService {
             .jobs
             .pop()
             .unwrap()
+    }
+
+    // -----------------------------------------------------------------
+    // Dynamic graphs: epoch-keyed serving over a DynamicMinCut.
+    // -----------------------------------------------------------------
+
+    /// Hosts a mutable graph: runs the initial solve and returns a
+    /// handle for [`MinCutService::dynamic_update`] /
+    /// [`MinCutService::dynamic_lambda`]. Results are memoised in the
+    /// same cut cache as batch jobs, but keyed by
+    /// `(origin_fingerprint, epoch)` — a mutation *cannot* be served a
+    /// stale entry, because the epoch in the key changes with it (the
+    /// staleness hazard a bare [`CsrGraph::fingerprint`] key would
+    /// have). Each epoch advance evicts the now-unservable previous
+    /// entry and counts it in [`CacheStats::invalidations`].
+    pub fn register_dynamic(
+        &self,
+        graph: impl Into<DeltaGraph>,
+        solver: &str,
+        opts: SolveOptions,
+    ) -> Result<DynamicHandle, MinCutError> {
+        let instance = SolverRegistry::global()
+            .resolve(solver)?
+            .instance_name(&opts);
+        let config = format!(
+            "dyn|{instance}|seed={}|red={}",
+            opts.seed,
+            opts.reductions.cache_key()
+        );
+        let maintainer = DynamicMinCut::new(graph, solver, opts)?;
+        let entry = Arc::new(DynamicEntry {
+            maintainer: Mutex::new(maintainer),
+            config,
+        });
+        self.cache_dynamic_state(&entry);
+        let id = self.next_dynamic.fetch_add(1, Ordering::Relaxed);
+        self.dynamic.lock().unwrap().insert(id, entry);
+        Ok(DynamicHandle(id))
+    }
+
+    /// Applies one trace operation to a hosted dynamic graph. Mutations
+    /// advance the epoch: the previous epoch's cache entry is evicted
+    /// (and counted as invalidated) and the new `(λ, witness)` is
+    /// memoised under the new `(fingerprint, epoch)` key.
+    pub fn dynamic_update(
+        &self,
+        handle: DynamicHandle,
+        op: &TraceOp,
+    ) -> Result<UpdateReport, MinCutError> {
+        let entry = self.dynamic_entry(handle)?;
+        let mut maintainer = entry.maintainer.lock().unwrap();
+        let before = maintainer.epoch();
+        let report = maintainer.apply(op)?;
+        if report.epoch != before && self.config.cache {
+            self.cache.invalidate(
+                maintainer.graph().origin_fingerprint(),
+                &entry.epoch_config(before),
+            );
+            drop(maintainer);
+            self.cache_dynamic_state(&entry);
+        }
+        Ok(report)
+    }
+
+    /// Serves the current λ (and whether it came from the epoch-keyed
+    /// cut cache rather than the maintainer).
+    pub fn dynamic_lambda(&self, handle: DynamicHandle) -> Result<(EdgeWeight, bool), MinCutError> {
+        let entry = self.dynamic_entry(handle)?;
+        let maintainer = entry.maintainer.lock().unwrap();
+        maintainer.check_consistent()?;
+        let g = maintainer.graph();
+        if self.config.cache {
+            let config = entry.epoch_config(g.epoch());
+            if let Some((value, _)) =
+                self.cache
+                    .lookup(g.origin_fingerprint(), &config, g.n(), g.m())
+            {
+                return Ok((value, true));
+            }
+            let lambda = maintainer.lambda();
+            drop(maintainer);
+            self.cache_dynamic_state(&entry);
+            Ok((lambda, false))
+        } else {
+            Ok((maintainer.lambda(), false))
+        }
+    }
+
+    /// Lifetime counters of a hosted dynamic graph.
+    pub fn dynamic_stats(&self, handle: DynamicHandle) -> Result<DynamicStats, MinCutError> {
+        let entry = self.dynamic_entry(handle)?;
+        let stats = entry.maintainer.lock().unwrap().stats().clone();
+        Ok(stats)
+    }
+
+    /// Drops a hosted dynamic graph, returning its final counters. Its
+    /// cache entries age out with the cache (the final epoch's entry
+    /// stays valid — the graph can no longer mutate).
+    pub fn unregister_dynamic(&self, handle: DynamicHandle) -> Result<DynamicStats, MinCutError> {
+        let entry = self
+            .dynamic
+            .lock()
+            .unwrap()
+            .remove(&handle.0)
+            .ok_or_else(|| MinCutError::InvalidUpdate {
+                message: format!("unknown dynamic handle {:?}", handle),
+            })?;
+        let stats = entry.maintainer.lock().unwrap().stats().clone();
+        Ok(stats)
+    }
+
+    fn dynamic_entry(&self, handle: DynamicHandle) -> Result<Arc<DynamicEntry>, MinCutError> {
+        self.dynamic
+            .lock()
+            .unwrap()
+            .get(&handle.0)
+            .cloned()
+            .ok_or_else(|| MinCutError::InvalidUpdate {
+                message: format!("unknown dynamic handle {:?}", handle),
+            })
+    }
+
+    /// Memoises the maintainer's current `(λ, witness)` under its
+    /// `(origin_fingerprint, epoch)` key.
+    fn cache_dynamic_state(&self, entry: &DynamicEntry) {
+        if !self.config.cache {
+            return;
+        }
+        let maintainer = entry.maintainer.lock().unwrap();
+        if maintainer.check_consistent().is_err() {
+            return; // never memoise a (λ, graph) pair that is out of sync
+        }
+        let g = maintainer.graph();
+        self.cache.insert(
+            g.origin_fingerprint(),
+            &entry.epoch_config(g.epoch()),
+            (g.n(), g.m()),
+            maintainer.lambda(),
+            Some(maintainer.witness().to_vec()),
+            self.config.cache_capacity,
+        );
     }
 
     /// Runs a batch of jobs and reports per-job outcomes (in submission
@@ -648,7 +837,7 @@ impl MinCutService {
         );
 
         if self.config.cache {
-            if let Some((value, side)) = self.cache.lookup(fingerprint, &config_key, g) {
+            if let Some((value, side)) = self.cache.lookup(fingerprint, &config_key, g.n(), g.m()) {
                 if self.config.share_bounds {
                     self.offer_bound(state, &fp_group, job, value, side.clone(), fingerprint);
                 }
@@ -713,7 +902,7 @@ impl MinCutService {
                     self.cache.insert(
                         fingerprint,
                         &config_key,
-                        g,
+                        (g.n(), g.m()),
                         outcome.cut.value,
                         outcome.cut.side.clone(),
                         self.config.cache_capacity,
@@ -1097,6 +1286,78 @@ mod tests {
         let again = service.run_batch(&jobs);
         assert_eq!(again.stats.cache_hits, 2);
         assert_eq!(again.stats.solved, 3);
+    }
+
+    #[test]
+    fn dynamic_graphs_serve_epoch_keyed_results() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1); // bridge (0,6), λ = 1
+        let h = service
+            .register_dynamic(g, "noi-viecut", SolveOptions::new().seed(1))
+            .unwrap();
+
+        // Registration memoised epoch 0; the query is a cache hit.
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (l, true));
+
+        // A second bridge: epoch 1, new entry, old one counted stale.
+        let r = service
+            .dynamic_update(h, &TraceOp::Insert { u: 1, v: 7, w: 1 })
+            .unwrap();
+        assert_eq!((r.lambda, r.epoch), (2, 1));
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (2, true));
+        let cs = service.cache_stats();
+        assert_eq!(cs.invalidations, 1, "epoch 0 entry evicted");
+        assert_eq!(cs.entries, 1, "only the current epoch stays cached");
+
+        // Queries do not advance the epoch or invalidate anything.
+        let r = service.dynamic_update(h, &TraceOp::Query).unwrap();
+        assert_eq!((r.lambda, r.epoch, r.resolved), (2, 1, false));
+        assert_eq!(service.cache_stats().invalidations, 1);
+
+        // Crossing deletion: epoch 2, λ back to 1, no solver run.
+        let r = service
+            .dynamic_update(h, &TraceOp::Delete { u: 0, v: 6 })
+            .unwrap();
+        assert_eq!((r.lambda, r.resolved), (1, false));
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (1, true));
+        assert_eq!(service.cache_stats().invalidations, 2);
+
+        let stats = service.dynamic_stats(h).unwrap();
+        assert_eq!(
+            (stats.insertions, stats.deletions, stats.queries),
+            (1, 1, 1)
+        );
+
+        let final_stats = service.unregister_dynamic(h).unwrap();
+        assert_eq!(final_stats, stats);
+        assert!(matches!(
+            service.dynamic_lambda(h),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+        assert!(matches!(
+            service.unregister_dynamic(h),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_graphs_work_with_the_cache_disabled() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().cache(false));
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1); // bridge (0,6), λ = 1
+        let h = service
+            .register_dynamic(g, "stoer-wagner", SolveOptions::new())
+            .unwrap();
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (l, false));
+        service
+            .dynamic_update(h, &TraceOp::Insert { u: 1, v: 7, w: 1 })
+            .unwrap();
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (l + 1, false));
+        let cs = service.cache_stats();
+        assert_eq!((cs.insertions, cs.invalidations), (0, 0));
     }
 
     #[test]

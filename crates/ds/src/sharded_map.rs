@@ -86,6 +86,13 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         self.shards[shard].lock().get(key).cloned()
     }
 
+    /// Removes and returns the entry stored for `key` (the service's
+    /// cut cache reclaims epoch-orphaned dynamic-graph results this way).
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let shard = self.shard_of(key);
+        self.shards[shard].lock().remove(key)
+    }
+
     /// Drains the map into a vector of entries (single-threaded epilogue).
     pub fn drain_into_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();

@@ -111,8 +111,11 @@ impl CsrGraph {
             .filter(|&(u, v, _)| u < v)
     }
 
-    /// Weight of the edge `{u, v}` if present (binary search on the smaller
-    /// adjacency list).
+    /// Weight of the edge `{u, v}` if present: binary search on the
+    /// smaller adjacency list, sound because the builder guarantees every
+    /// list is sorted ascending (asserted by the
+    /// `edge_weight_binary_search_matches_linear_scan` test below and the
+    /// builder property suite).
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<EdgeWeight> {
         let (a, b) = if self.degree(u) <= self.degree(v) {
             (u, v)
@@ -139,6 +142,16 @@ impl CsrGraph {
     /// process-independent cache key for result memoisation
     /// (equal-by-value graphs collide on purpose; isomorphic but
     /// relabelled graphs do not).
+    ///
+    /// **Mutation hazard.** A fingerprint identifies *this* edge set and
+    /// must never be carried across any mutation of the underlying
+    /// instance: a cache keyed by it would silently serve results for a
+    /// graph that no longer exists. `CsrGraph` itself is immutable, so
+    /// the only mutation path in the workspace is
+    /// [`DeltaGraph`](crate::DeltaGraph) — which keeps the construction
+    /// fingerprint as a stable anchor and folds its `epoch` counter into
+    /// every derived cache key (`(origin_fingerprint, epoch)`), exactly
+    /// so stale entries can never be confused with current ones.
     pub fn fingerprint(&self) -> u64 {
         use mincut_ds::hash::{fnv1a_u64, FNV1A_OFFSET};
         let mut h = fnv1a_u64(FNV1A_OFFSET, self.n() as u64);
@@ -504,6 +517,43 @@ mod tests {
         assert_eq!(g.degree(2), 0);
         assert_eq!(g.weighted_degree(2), 0);
         assert_eq!(g.min_weighted_degree(), Some((2, 0)));
+    }
+
+    /// The binary search in `edge_weight` is only correct because the
+    /// builder keeps every adjacency list sorted; assert the invariant
+    /// and the search result against a plain linear scan on a graph
+    /// built from deliberately shuffled, duplicated input.
+    #[test]
+    fn edge_weight_binary_search_matches_linear_scan() {
+        let edges: Vec<(NodeId, NodeId, EdgeWeight)> = vec![
+            (7, 2, 3),
+            (0, 5, 1),
+            (5, 0, 2), // duplicate, merges to 3
+            (3, 4, 9),
+            (6, 1, 4),
+            (1, 6, 0), // zero weight, dropped
+            (2, 0, 7),
+            (4, 7, 2),
+            (5, 3, 6),
+            (0, 7, 1),
+        ];
+        let g = CsrGraph::from_edges(8, &edges);
+        for v in 0..g.n() as NodeId {
+            assert!(
+                g.neighbors(v).windows(2).all(|w| w[0] < w[1]),
+                "builder must keep vertex {v}'s list strictly sorted"
+            );
+        }
+        for u in 0..g.n() as NodeId {
+            for v in 0..g.n() as NodeId {
+                let linear = g
+                    .neighbors(u)
+                    .iter()
+                    .position(|&x| x == v)
+                    .map(|i| g.neighbor_weights(u)[i]);
+                assert_eq!(g.edge_weight(u, v), linear, "({u},{v})");
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //!   representation of a simple undirected graph with positive integer edge
 //!   weights, plus the [`GraphBuilder`] that normalises arbitrary edge lists
 //!   (duplicate merging, self-loop removal) into it;
+//! * [`delta`] — the [`DeltaGraph`] dynamic overlay: an immutable CSR
+//!   base plus an insert/delete edge overlay with an epoch counter, O(Δ)
+//!   composed queries and an allocation-recycling `compact()`. This is
+//!   the workspace's **only** mutation path — everything else keys
+//!   caches off the immutable [`CsrGraph::fingerprint`];
 //! * [`contract`] — weighted graph contraction, sequential and parallel
 //!   (§3.2 of the paper), collapsing union-find blocks into single vertices
 //!   while summing parallel edge weights. The [`ContractionEngine`] owns
@@ -27,6 +32,7 @@
 pub mod components;
 pub mod contract;
 mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod kcore;
@@ -35,6 +41,7 @@ pub mod stats;
 
 pub use contract::ContractionEngine;
 pub use csr::{CsrGraph, GraphBuilder};
+pub use delta::DeltaGraph;
 pub use partition::Membership;
 
 /// Vertex identifier. Graphs up to ~4.2 billion vertices.

@@ -25,13 +25,14 @@ use sm_mincut::algorithms::json_string as json_str;
 use sm_mincut::algorithms::{ReductionPipeline, Reductions};
 use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
 use sm_mincut::{
-    BatchJob, CsrGraph, ErrorPolicy, JobStatus, MinCutError, MinCutService, ServiceConfig, Session,
-    SolveOptions, SolverRegistry,
+    parse_trace, BatchJob, CsrGraph, ErrorPolicy, JobStatus, MinCutError, MinCutService,
+    ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
 };
 
 struct Options {
     path: String,
     batch: Option<String>,
+    stream: Option<String>,
     algorithm: String,
     opts: SolveOptions,
     /// Whether -t/--threads was given (batch mode re-splits the default).
@@ -64,6 +65,7 @@ mincut - exact minimum cut solver (Henzinger-Noe-Schulz, IPDPS 2019)
 
 USAGE: mincut [OPTIONS] <GRAPH>
        mincut [OPTIONS] --batch <MANIFEST>
+       mincut [OPTIONS] --stream <TRACE> <GRAPH>
 
 ARGS:
   <GRAPH>  METIS file (*.graph, *.metis) or edge list; '-' = stdin edge list
@@ -99,6 +101,16 @@ BATCH MODE:
   -j, --jobs <N>          batch worker threads (default: all cores)
       --fail-fast         skip remaining batch jobs after a failure
 
+STREAM MODE:
+      --stream <TRACE>    maintain the minimum cut of <GRAPH> across the
+                          edge updates in TRACE — one op per line:
+                          `i u v w` insert, `d u v` delete, `q` query
+                          (0-based vertices, `#`/`%` comments) — through
+                          the service's dynamic API; emits one JSON
+                          object per op on stdout with the maintained
+                          lambda, and the DynamicStats on stderr
+                          (--side/--edges are single-graph only)
+
 SOLVERS (cli name, paper name, description):
 {names}",
         passes = ReductionPipeline::pass_names().join(", ")
@@ -109,6 +121,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         path: String::new(),
         batch: None,
+        stream: None,
         algorithm: "noi-viecut".into(),
         opts: SolveOptions::new().seed(42),
         threads_set: false,
@@ -196,6 +209,7 @@ fn parse_args() -> Options {
                 opts.opts.reductions = selection;
             }
             "--batch" => opts.batch = Some(value("--batch")),
+            "--stream" => opts.stream = Some(value("--stream")),
             "-j" | "--jobs" => match value("--jobs").parse() {
                 Ok(j) => opts.jobs = j,
                 Err(_) => {
@@ -224,12 +238,22 @@ fn parse_args() -> Options {
         eprintln!("error: --batch and a <GRAPH> argument are mutually exclusive");
         usage()
     }
-    if opts.batch.is_some() && (opts.print_side || opts.print_edges) {
-        eprintln!("error: --side/--edges are not available in --batch mode (use --stats for per-job telemetry)");
+    if opts.batch.is_some() && opts.stream.is_some() {
+        eprintln!("error: --batch and --stream are mutually exclusive");
+        usage()
+    }
+    if (opts.batch.is_some() || opts.stream.is_some()) && (opts.print_side || opts.print_edges) {
+        eprintln!(
+            "error: --side/--edges are only available in single-graph mode (use --stats for telemetry)"
+        );
         usage()
     }
     if opts.batch.is_none() && (opts.jobs != 0 || opts.fail_fast) {
         eprintln!("error: --jobs/--fail-fast only apply to --batch mode");
+        usage()
+    }
+    if opts.stream.is_some() && opts.path.is_empty() {
+        eprintln!("error: --stream needs a <GRAPH> argument to start from");
         usage()
     }
     if opts.batch.is_none() && opts.path.is_empty() {
@@ -421,6 +445,63 @@ fn run_batch_mode(cli: &Options, manifest_path: &str) -> ! {
     exit(if any_failed { 1 } else { 0 })
 }
 
+/// Dynamic stream mode: replay an edge-update trace against the graph
+/// through the service's dynamic API, one JSON line of maintained λ per
+/// operation. Never returns.
+fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
+    let g = load_graph(&cli.path);
+    eprintln!("graph: n = {}, m = {}", g.n(), g.m());
+    let trace = std::fs::File::open(trace_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open trace {trace_path}: {e}");
+        exit(1)
+    });
+    let ops = match parse_trace(std::io::BufReader::new(trace), g.n()) {
+        Ok(ops) => ops,
+        Err(e) => {
+            eprintln!("error: failed to parse {trace_path}: {e}");
+            exit(1)
+        }
+    };
+
+    let service = MinCutService::new(ServiceConfig::new());
+    let handle = match service.register_dynamic(g, &cli.algorithm, cli.opts.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: initial solve failed: {e}");
+            exit(1)
+        }
+    };
+
+    for (index, op) in ops.iter().enumerate() {
+        let report = match service.dynamic_update(handle, op) {
+            Ok(r) => r,
+            Err(e) => {
+                println!(
+                    "{{\"index\":{index},\"status\":\"error\",\"error\":{}}}",
+                    json_str(&e.to_string())
+                );
+                eprintln!("error: update {index} failed: {e}");
+                exit(1)
+            }
+        };
+        let op_fields = match *op {
+            TraceOp::Insert { u, v, w } => format!("\"op\":\"i\",\"u\":{u},\"v\":{v},\"w\":{w}"),
+            TraceOp::Delete { u, v } => format!("\"op\":\"d\",\"u\":{u},\"v\":{v}"),
+            TraceOp::Query => "\"op\":\"q\"".into(),
+        };
+        println!(
+            "{{\"index\":{index},{op_fields},\"epoch\":{},\"lambda\":{},\"resolved\":{}}}",
+            report.epoch, report.lambda, report.resolved
+        );
+    }
+
+    let stats = service
+        .dynamic_stats(handle)
+        .expect("handle registered above");
+    eprintln!("stream: {}", stats.to_json());
+    exit(0)
+}
+
 fn main() {
     let cli = parse_args();
 
@@ -434,6 +515,9 @@ fn main() {
 
     if let Some(manifest) = &cli.batch {
         run_batch_mode(&cli, manifest);
+    }
+    if let Some(trace) = &cli.stream {
+        run_stream_mode(&cli, trace);
     }
 
     let g = load_graph(&cli.path);

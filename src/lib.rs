@@ -59,6 +59,26 @@
 //! assert_eq!(report.stats.cache_hits, 1);
 //! ```
 //!
+//! ## Dynamic updates
+//!
+//! When the graph itself mutates, [`DynamicMinCut`] maintains
+//! `(λ, witness)` exactly across edge insertions and deletions over a
+//! [`DeltaGraph`] overlay, re-solving (bound-seeded) only when an update
+//! crosses the witness in a way that can change the answer; the
+//! `mincut --stream <trace>` CLI mode and the `dynamic_stream` example
+//! drive it end to end, and [`MinCutService::register_dynamic`] serves
+//! it with `(fingerprint, epoch)` cache keys:
+//!
+//! ```
+//! use sm_mincut::{CsrGraph, DynamicMinCut, SolveOptions};
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+//! let mut dyn_cut = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new()).unwrap();
+//! assert_eq!(dyn_cut.lambda(), 2);
+//! assert_eq!(dyn_cut.delete_edge(1, 2).unwrap().lambda, 1);
+//! assert_eq!(dyn_cut.insert_edge(1, 2, 3).unwrap().lambda, 2);
+//! ```
+//!
 //! The enum front door of earlier releases still works as a shim:
 //!
 //! ```
@@ -76,10 +96,11 @@ pub use mincut_graph as graph;
 
 // The names a typical user needs, flattened.
 pub use mincut_core::{
-    minimum_cut, minimum_cut_seeded, Algorithm, BatchJob, BatchReport, BatchStats, CacheStats,
-    Capabilities, ErrorPolicy, Guarantee, JobReport, JobStatus, Membership, MinCutError,
-    MinCutResult, MinCutService, PqKind, ReduceOutcome, ReductionPassStats, ReductionPipeline,
-    Reductions, ServiceConfig, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry,
-    SolverStats,
+    materialize, minimum_cut, minimum_cut_seeded, parse_trace, parse_trace_op, Algorithm, BatchJob,
+    BatchReport, BatchStats, CacheStats, Capabilities, DynamicHandle, DynamicMinCut, DynamicStats,
+    ErrorPolicy, Guarantee, JobReport, JobStatus, Membership, MinCutError, MinCutResult,
+    MinCutService, PqKind, ReduceOutcome, ReductionPassStats, ReductionPipeline, Reductions,
+    ServiceConfig, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry, SolverStats,
+    TraceOp, UpdateReport,
 };
-pub use mincut_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};
+pub use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, GraphBuilder, NodeId};

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
-use sm_mincut::{CsrGraph, MinCutError, Session, SolveOptions};
+use sm_mincut::{parse_trace, CsrGraph, DynamicMinCut, MinCutError, Session, SolveOptions};
 
 // ---------------------------------------------------------------------
 // Library layer: parsers.
@@ -74,6 +74,58 @@ fn solver_errors_are_values_not_panics() {
             .unwrap_err(),
         MinCutError::InvalidOptions { .. }
     ));
+}
+
+#[test]
+fn trace_parser_rejections_are_values_with_line_numbers() {
+    // Each bad line sits on line 2 behind a valid `q`, proving the
+    // reported location is the offending line, not just "line 1".
+    for (line, needle) in [
+        ("x 0 1", "unknown operation"),
+        ("insert 0 1 2", "unknown operation"),
+        ("i 0 1", "missing weight"),
+        ("d 0", "missing target vertex"),
+        ("i 0 9 1", "out of range"),
+        ("d 0 9", "out of range"),
+        ("i 0 1 -3", "negative weight"),
+        ("d -1 0", "negative vertex"),
+        ("i 0 1 0", "zero-weight"),
+        ("i 1 1 2", "self-loop"),
+        ("d 1 1", "self-loop"),
+        ("q stray", "trailing token"),
+        ("i 0 1 2 3", "trailing token"),
+        ("i zero 1 2", "invalid source"),
+    ] {
+        let err = parse_trace(Cursor::new(format!("q\n{line}\n")), 5).expect_err(line);
+        match err {
+            MinCutError::TraceParse { line: no, message } => {
+                assert_eq!(no, 2, "{line:?}");
+                assert!(message.contains(needle), "{line:?}: {message}");
+            }
+            other => panic!("{line:?}: expected TraceParse, got {other:?}"),
+        }
+    }
+    // Comments and blank lines are not operations.
+    assert_eq!(
+        parse_trace(Cursor::new("# c\n\n% c\n"), 3).unwrap(),
+        Vec::new()
+    );
+}
+
+#[test]
+fn dynamic_updates_reject_bad_edges_as_values() {
+    let (g, l) = sm_mincut::graph::generators::known::cycle_graph(5, 1);
+    let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+    for result in [
+        dm.insert_edge(1, 1, 2), // self-loop
+        dm.insert_edge(0, 7, 1), // out of range
+        dm.insert_edge(0, 2, 0), // zero weight
+        dm.delete_edge(0, 2),    // no such chord
+    ] {
+        assert!(matches!(result, Err(MinCutError::InvalidUpdate { .. })));
+    }
+    assert_eq!(dm.lambda(), l, "failed updates leave the state untouched");
+    assert_eq!(dm.epoch(), 0);
 }
 
 // ---------------------------------------------------------------------
@@ -241,4 +293,98 @@ fn cli_batch_manifest_entries_report_errors_and_exit_nonzero() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn cli_stream_mode_exit_codes_and_output() {
+    // A good trace over the golden barbell: exit 0, one JSON line per
+    // op with the hand-verified λ sequence (see tests/data/README.md).
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(data("barbell.trace"))
+        .arg(data("barbell.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lambdas: Vec<&str> = stdout
+        .lines()
+        .map(|l| {
+            let at = l.find("\"lambda\":").expect(l) + "\"lambda\":".len();
+            &l[at..at + 1]
+        })
+        .collect();
+    assert_eq!(lambdas, vec!["1", "2", "1", "1", "0", "1", "1"]);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("stream: {"), "{stderr}");
+
+    // Malformed traces: runtime failures (exit 1) naming the line.
+    for (name, content) in [
+        ("bad_op.trace", "q\nx 0 1\n"),
+        ("out_of_range.trace", "i 0 99 1\n"),
+        ("negative_weight.trace", "i 0 1 -2\n"),
+    ] {
+        let trace = scratch_file(name, content);
+        let out = mincut_bin()
+            .args(["--stream"])
+            .arg(&trace)
+            .arg(data("barbell.txt"))
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{name}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("trace line"), "{name}: {stderr}");
+    }
+
+    // Deleting an edge that does not exist: runtime failure with an
+    // error JSON line for the offending op.
+    let trace = scratch_file("missing_edge.trace", "d 0 1\nd 0 1\n");
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .arg(data("barbell.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains("\"status\":\"error\""),
+        "{stdout}"
+    );
+
+    // Unreadable trace: runtime failure.
+    let out = mincut_bin()
+        .args(["--stream", "/nonexistent/trace.txt"])
+        .arg(data("barbell.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Usage errors: --stream without a graph, with --batch, with --side.
+    let trace = scratch_file("ok.trace", "q\n");
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "--stream needs a graph");
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .args(["--batch", "whatever.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "--stream + --batch");
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .arg(data("barbell.txt"))
+        .arg("--side")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "--stream + --side");
 }

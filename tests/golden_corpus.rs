@@ -20,8 +20,8 @@ use std::sync::Arc;
 use sm_mincut::graph::generators::known::brute_force_mincut;
 use sm_mincut::graph::io::{read_edge_list, read_metis};
 use sm_mincut::{
-    BatchJob, CsrGraph, MinCutService, Reductions, ServiceConfig, Session, SolveOptions,
-    SolverRegistry,
+    materialize, parse_trace, BatchJob, CsrGraph, DeltaGraph, DynamicMinCut, MinCutService,
+    Reductions, ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
 };
 
 /// `(file, hand-verified λ)` — keep in sync with tests/data/README.md.
@@ -120,6 +120,64 @@ fn disconnected_witness_is_uniform_across_all_solvers() {
                 out.cut.side.as_deref(),
                 Some(&expected[..]),
                 "{name} ({reductions:?}): witness must be the smallest component"
+            );
+        }
+    }
+}
+
+/// Hand-verified λ after each operation of `barbell.trace` (see the
+/// README table; keep the three in sync).
+const TRACE_LAMBDAS: &[u64] = &[1, 2, 1, 1, 0, 1, 1];
+
+/// The golden update trace: the hand-verified λ sequence is re-checked
+/// against the brute-force oracle on the materialised graph after every
+/// step (so the table cannot rot), then `DynamicMinCut` must reproduce
+/// it for several solver families — with a witness that re-costs to λ
+/// on the current graph at every step.
+#[test]
+fn golden_update_trace_matches_hand_verified_lambdas() {
+    let base = load("barbell.txt");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/barbell.trace");
+    let reader = BufReader::new(File::open(&path).unwrap());
+    let ops = parse_trace(reader, base.n()).unwrap();
+    assert_eq!(ops.len(), TRACE_LAMBDAS.len(), "trace and table drifted");
+
+    // Oracle pass: the table is correct.
+    let mut shadow = DeltaGraph::new(base.clone());
+    for (op, &expected) in ops.iter().zip(TRACE_LAMBDAS) {
+        match *op {
+            TraceOp::Insert { u, v, w } => shadow.insert_edge(u, v, w),
+            TraceOp::Delete { u, v } => {
+                shadow.delete_edge(u, v).expect("trace deletes live edges");
+            }
+            TraceOp::Query => {}
+        }
+        assert_eq!(
+            brute_force_mincut(&materialize(&shadow)),
+            expected,
+            "hand-verified λ is wrong at {op:?}"
+        );
+    }
+
+    // Maintainer pass: every family reproduces the sequence exactly.
+    for solver in ["noi-viecut", "stoer-wagner", "parcut", "NOIλ̂-BQueue"] {
+        let opts = SolveOptions::new().seed(0xC0FFEE).threads(2);
+        let mut dm = DynamicMinCut::new(base.clone(), solver, opts)
+            .unwrap_or_else(|e| panic!("{solver}: {e}"));
+        assert_eq!(dm.lambda(), TRACE_LAMBDAS[0], "{solver}: initial solve");
+        for (i, (op, &expected)) in ops.iter().zip(TRACE_LAMBDAS).enumerate() {
+            let report = dm
+                .apply(op)
+                .unwrap_or_else(|e| panic!("{solver} op {i}: {e}"));
+            assert_eq!(report.lambda, expected, "{solver} op {i} ({op:?})");
+            assert!(
+                dm.graph().is_proper_cut(dm.witness()),
+                "{solver} op {i}: improper witness"
+            );
+            assert_eq!(
+                dm.graph().cut_value(dm.witness()),
+                expected,
+                "{solver} op {i}: witness must re-cost to λ"
             );
         }
     }

@@ -5,11 +5,12 @@
 use sm_mincut::graph::generators::{barabasi_albert, known, random_hyperbolic_graph, RhgParams};
 use sm_mincut::graph::kcore::k_core_lcc;
 use sm_mincut::{
-    minimum_cut_seeded, Algorithm, CsrGraph, PqKind, Reductions, Session, SolveOptions,
+    materialize, minimum_cut_seeded, Algorithm, CsrGraph, DeltaGraph, DynamicMinCut, NodeId,
+    PqKind, Reductions, Session, SolveOptions,
 };
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn assert_parcut_matches(g: &CsrGraph, expected: u64, label: &str) {
     for pq in PqKind::ALL {
@@ -127,6 +128,91 @@ fn kernelization_is_consistent_across_thread_counts() {
             })
             .collect();
         assert_eq!(kernel_sizes[0], kernel_sizes[1]);
+    }
+}
+
+/// Differential property test for the dynamic subsystem: random update
+/// traces replayed through `DynamicMinCut` must report the exact
+/// from-scratch Stoer–Wagner λ after **every** step, with a witness that
+/// re-costs to λ on the current graph — at 1 and 4 worker threads (and,
+/// in the CI matrix, under `RAYON_NUM_THREADS ∈ {1, 4}` like the rest of
+/// this suite). At the end of each trace, `DeltaGraph::compact()` must
+/// be fingerprint-identical to `CsrGraph::from_edges` on the merged edge
+/// list.
+#[test]
+fn dynamic_maintainer_matches_from_scratch_on_random_traces() {
+    let mut rng = SmallRng::seed_from_u64(0xD17A);
+    for threads in [1usize, 4] {
+        for trial in 0..5 {
+            // Random base: a spanning path (so the first solve sees a
+            // connected graph sometimes worth kernelizing) plus chords.
+            let n = 5 + (trial % 4) * 2;
+            let mut edges: Vec<(NodeId, NodeId, u64)> = (1..n as NodeId)
+                .map(|v| (v - 1, v, rng.gen_range(1..5)))
+                .collect();
+            for _ in 0..rng.gen_range(0..2 * n) {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                if u != v {
+                    edges.push((u, v, rng.gen_range(1..5)));
+                }
+            }
+            let base = CsrGraph::from_edges(n, &edges);
+            let opts = SolveOptions::new().seed(7 + trial as u64).threads(threads);
+            let mut dm = DynamicMinCut::new(base.clone(), "parcut", opts)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let mut shadow = DeltaGraph::new(base);
+
+            for step in 0..24 {
+                let tag = format!("threads {threads}, trial {trial}, step {step}");
+                // 60/40 insert/delete mix; deletes target a live edge.
+                if shadow.m() == 0 || rng.gen_bool(0.6) {
+                    let (mut u, mut v) = (0, 0);
+                    while u == v {
+                        u = rng.gen_range(0..n as NodeId);
+                        v = rng.gen_range(0..n as NodeId);
+                    }
+                    let w = rng.gen_range(1..6);
+                    dm.insert_edge(u, v, w)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    shadow.insert_edge(u, v, w);
+                } else {
+                    let live: Vec<_> = shadow.edges().collect();
+                    let (u, v, _) = live[rng.gen_range(0..live.len())];
+                    dm.delete_edge(u, v)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    shadow.delete_edge(u, v).expect("picked a live edge");
+                }
+
+                let current = materialize(&shadow);
+                let expected = Session::new(&current)
+                    .options(SolveOptions::new().seed(1))
+                    .run("stoer-wagner")
+                    .unwrap_or_else(|e| panic!("{tag}: oracle: {e}"))
+                    .cut
+                    .value;
+                assert_eq!(dm.lambda(), expected, "{tag}");
+                assert!(
+                    current.is_proper_cut(dm.witness()),
+                    "{tag}: improper witness"
+                );
+                assert_eq!(
+                    current.cut_value(dm.witness()),
+                    expected,
+                    "{tag}: witness must re-cost to λ"
+                );
+            }
+
+            // The overlay folds into the canonical CSR of the merged list.
+            let merged: Vec<_> = shadow.edges().collect();
+            let reference = CsrGraph::from_edges(shadow.n(), &merged);
+            assert_eq!(
+                shadow.compact().fingerprint(),
+                reference.fingerprint(),
+                "threads {threads}, trial {trial}: compact() must be \
+                 fingerprint-identical to from_edges"
+            );
+        }
     }
 }
 
