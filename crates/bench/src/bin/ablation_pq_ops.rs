@@ -18,7 +18,7 @@ use mincut_bench::instances::{realworld_proxies, Scale};
 use mincut_bench::table::Table;
 use mincut_core::capforest::capforest;
 use mincut_core::viecut::{viecut, VieCutConfig};
-use mincut_ds::{take_counters, BinaryHeapPq, CountingPq};
+use mincut_ds::{BinaryHeapPq, CountingPq};
 use mincut_graph::generators::{random_hyperbolic_graph, RhgParams};
 use mincut_graph::CsrGraph;
 use rand::rngs::SmallRng;
@@ -73,9 +73,8 @@ fn main() {
             ("bounded δ (NOIλ̂)", true, delta),
             ("bounded VieCut (NOIλ̂-VieCut)", true, vc),
         ] {
-            let _ = take_counters();
             let out = capforest::<Instrumented>(&g, bound, 0, bounded);
-            let c = take_counters();
+            let c = out.pq_ops;
             let base = *baseline_total.get_or_insert(c.total());
             table.row(vec![
                 name.clone(),

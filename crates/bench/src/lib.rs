@@ -2,5 +2,6 @@
 //! and figure of the paper (see DESIGN.md, "Per-experiment index").
 
 pub mod instances;
+pub mod report;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,234 @@
+//! Machine-readable benchmark baselines: `BENCH_<name>.json`.
+//!
+//! Every perf-relevant bench bin can persist its measurements as one
+//! self-describing JSON file under `results/`, so the numbers of a PR are
+//! *diffable against the committed baseline of the previous one* instead
+//! of living in scrollback. The schema is flat on purpose — one entry per
+//! (instance, solver, thread-count) measurement carrying wall time, the
+//! PQ-operation totals, kernel sizes, per-path contraction-round counts
+//! and a peak-RSS proxy — and the regeneration protocol is documented in
+//! ROADMAP.md ("Performance").
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use mincut_core::{json_string, SolveOutcome};
+use mincut_graph::ContractionPath;
+
+/// One measurement row of a [`BenchReport`].
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Instance name (generator family + size).
+    pub instance: String,
+    /// Solver spelling as resolved through the registry, or a
+    /// micro-benchmark label (e.g. `scan/legacy-bqueue`).
+    pub solver: String,
+    /// Worker threads the measurement ran with.
+    pub threads: usize,
+    /// Input size.
+    pub n: usize,
+    pub m: usize,
+    /// Cut value (λ for exact solvers; micro-benchmarks may carry a λ̂).
+    pub lambda: u64,
+    /// Average wall seconds per repetition.
+    pub wall_s: f64,
+    /// Repetitions averaged over.
+    pub reps: usize,
+    /// PQ-operation totals of the last repetition.
+    pub pq_pushes: u64,
+    pub pq_raises: u64,
+    pub pq_pops: u64,
+    /// Kernel the solver ran on (0/0 when kernelization was off).
+    pub kernel_n: usize,
+    pub kernel_m: usize,
+    /// Outer rounds and contraction-path attribution of the last rep.
+    pub rounds: u64,
+    pub contractions_seq_hash: u64,
+    pub contractions_seq_sort: u64,
+    pub contractions_seq_matrix: u64,
+    pub contractions_parallel: u64,
+}
+
+impl BenchEntry {
+    /// A row with only the identification fields filled in.
+    pub fn named(instance: &str, solver: &str, threads: usize, n: usize, m: usize) -> Self {
+        BenchEntry {
+            instance: instance.to_string(),
+            solver: solver.to_string(),
+            threads,
+            n,
+            m,
+            lambda: 0,
+            wall_s: 0.0,
+            reps: 1,
+            pq_pushes: 0,
+            pq_raises: 0,
+            pq_pops: 0,
+            kernel_n: 0,
+            kernel_m: 0,
+            rounds: 0,
+            contractions_seq_hash: 0,
+            contractions_seq_sort: 0,
+            contractions_seq_matrix: 0,
+            contractions_parallel: 0,
+        }
+    }
+
+    /// Copies the telemetry of a finished [`SolveOutcome`] into the row.
+    pub fn absorb_outcome(&mut self, outcome: &SolveOutcome) {
+        let s = &outcome.stats;
+        self.lambda = outcome.cut.value;
+        self.pq_pushes = s.pq_ops.pushes;
+        self.pq_raises = s.pq_ops.raises;
+        self.pq_pops = s.pq_ops.pops;
+        self.kernel_n = s.kernel_n;
+        self.kernel_m = s.kernel_m;
+        self.rounds = s.rounds;
+        for p in &s.contraction_paths {
+            match p {
+                ContractionPath::SeqHash => self.contractions_seq_hash += 1,
+                ContractionPath::SeqSort => self.contractions_seq_sort += 1,
+                ContractionPath::SeqMatrix => self.contractions_seq_matrix += 1,
+                ContractionPath::Parallel => self.contractions_parallel += 1,
+            }
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"instance\":{},\"solver\":{},\"threads\":{},\"n\":{},\"m\":{},\
+             \"lambda\":{},\"wall_s\":{:.9},\"reps\":{},\
+             \"pq_ops\":{{\"pushes\":{},\"raises\":{},\"pops\":{}}},\
+             \"kernel_n\":{},\"kernel_m\":{},\"rounds\":{},\
+             \"contractions\":{{\"seq_hash\":{},\"seq_sort\":{},\"seq_matrix\":{},\
+             \"parallel\":{}}}}}",
+            json_string(&self.instance),
+            json_string(&self.solver),
+            self.threads,
+            self.n,
+            self.m,
+            self.lambda,
+            self.wall_s,
+            self.reps,
+            self.pq_pushes,
+            self.pq_raises,
+            self.pq_pops,
+            self.kernel_n,
+            self.kernel_m,
+            self.rounds,
+            self.contractions_seq_hash,
+            self.contractions_seq_sort,
+            self.contractions_seq_matrix,
+            self.contractions_parallel,
+        )
+    }
+}
+
+/// A named collection of [`BenchEntry`] rows plus run metadata, written
+/// as `results/BENCH_<name>.json`.
+pub struct BenchReport {
+    name: String,
+    scale: String,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    pub fn new(name: impl Into<String>, scale: impl std::fmt::Debug) -> Self {
+        BenchReport {
+            name: name.into(),
+            scale: format!("{scale:?}").to_ascii_lowercase(),
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Serialises the report (entries plus environment metadata).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!("\"name\":{},", json_string(&self.name)));
+        s.push_str(&format!("\"scale\":{},", json_string(&self.scale)));
+        s.push_str(&format!(
+            "\"hardware_threads\":{},",
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        ));
+        s.push_str(&format!("\"peak_rss_kb\":{},", peak_rss_kb()));
+        s.push_str("\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&e.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Writes `results/BENCH_<name>.json` (creating `results/` if
+    /// needed) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+/// Peak resident set size of this process in kilobytes — the `VmHWM`
+/// line of `/proc/self/status` on Linux, 0 where unavailable. A proxy,
+/// not an allocator-level measurement: good enough to catch a bench
+/// regressing from in-cache to swapping between PRs.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = BenchReport::new("unit", crate::instances::Scale::Tiny);
+        let mut e = BenchEntry::named("ring_8", "noi-viecut", 2, 8, 12);
+        e.lambda = 3;
+        e.wall_s = 0.25;
+        e.contractions_seq_sort = 4;
+        r.push(e);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"unit\""));
+        assert!(j.contains("\"scale\":\"tiny\""));
+        assert!(j.contains("\"solver\":\"noi-viecut\""));
+        assert!(j.contains("\"seq_sort\":4"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

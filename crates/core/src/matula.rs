@@ -14,7 +14,7 @@ use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::capforest::counting_capforest;
+use crate::capforest::ScanWorkspace;
 use crate::error::MinCutError;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
@@ -83,8 +83,11 @@ pub(crate) fn matula_approx_connected(
     assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut engine = ContractionEngine::new();
+    let mut ws = ScanWorkspace::new();
+    let mut labels_buf: Vec<NodeId> = Vec::new();
     let mut current = g.clone();
-    let mut membership = Membership::identity(g.n());
+    // Witness bookkeeping only when a side is requested (as in NOI).
+    let mut membership = Membership::identity(if cfg.compute_side { g.n() } else { 0 });
     let mut best = EdgeWeight::MAX;
     let mut best_side: Option<Vec<bool>> = None;
 
@@ -112,22 +115,22 @@ pub(crate) fn matula_approx_connected(
         let sigma = ((delta as f64) / (2.0 + cfg.epsilon)).ceil() as EdgeWeight;
         let sigma = sigma.max(1);
         let start = rng.gen_range(0..current.n() as NodeId);
-        let out = counting_capforest(&current, sigma, start, cfg.pq, true);
+        let info = ws.scan(&current, sigma, start, cfg.pq, true);
+        ctx.stats.add_pq_ops(ws.take_ops());
         // Prefix cuts seen by the scan are real cuts; they can only help.
-        // (out.lambda_hat below σ without a witness never happens, but
-        // out.lambda_hat == σ < best is NOT an improvement — σ is a
+        // (info.lambda_hat below σ without a witness never happens, but
+        // info.lambda_hat == σ < best is NOT an improvement — σ is a
         // threshold, not a cut.)
-        if let Some(prefix) = out.best_prefix() {
-            if out.lambda_hat < best {
-                best = out.lambda_hat;
+        if let Some(len) = info.best_prefix_len {
+            if info.lambda_hat < best {
+                best = info.lambda_hat;
                 ctx.stats.record_lambda(best);
                 if cfg.compute_side {
-                    best_side = Some(membership.side_of_vertices(prefix));
+                    best_side = Some(membership.side_of_vertices(&ws.order()[..len]));
                 }
             }
         }
-        let mut uf = out.uf;
-        if out.unions == 0 {
+        if info.unions == 0 {
             // Degenerate weighted corner (σ can sit below every crossing
             // point): a Stoer–Wagner phase guarantees progress and its
             // phase cut keeps the approximation anchored.
@@ -140,11 +143,16 @@ pub(crate) fn matula_approx_connected(
                     best_side = Some(membership.side_of_vertices(&[phase.t]));
                 }
             }
-            uf.union(phase.s, phase.t);
+            ws.uf_mut().union(phase.s, phase.t);
         }
-        let (labels, blocks) = uf.dense_labels();
+        let blocks = ws.uf_mut().dense_labels_into(&mut labels_buf);
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        let next = if cfg.compute_side {
+            engine.contract_tracked(&current, &labels_buf, blocks, &mut membership)
+        } else {
+            engine.contract(&current, &labels_buf, blocks)
+        };
+        ctx.stats.record_contraction_path(engine.last_path());
         engine.recycle(std::mem::replace(&mut current, next));
     }
 

@@ -18,7 +18,7 @@ use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::capforest::{counting_capforest, CapforestOutcome};
+use crate::capforest::ScanWorkspace;
 use crate::error::MinCutError;
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
@@ -143,27 +143,32 @@ pub(crate) fn noi_minimum_cut_connected(
     ctx.stats.record_lambda(lambda);
 
     let mut engine = ContractionEngine::new();
+    let mut ws = ScanWorkspace::new();
+    let mut labels_buf: Vec<NodeId> = Vec::new();
     let mut current = g.clone();
-    let mut membership = Membership::identity(g.n());
+    // Witness bookkeeping (per-round O(n) membership folding) is paid
+    // only when a side is requested; value-only runs — how the paper
+    // measures — skip it entirely.
+    let mut membership = Membership::identity(if cfg.compute_side { g.n() } else { 0 });
 
     while current.n() > 2 {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
         let start = rng.gen_range(0..current.n() as NodeId);
-        let out = run_pass(&current, lambda, start, cfg);
+        let info = ws.scan(&current, lambda, start, cfg.pq, cfg.bounded);
+        ctx.stats.add_pq_ops(ws.take_ops());
 
         // Prefix cuts found by the scan.
-        if out.lambda_hat < lambda {
-            lambda = out.lambda_hat;
+        if info.lambda_hat < lambda {
+            lambda = info.lambda_hat;
             ctx.stats.record_lambda(lambda);
             if cfg.compute_side {
-                let prefix = out.best_prefix().expect("improvement implies witness");
-                best_side = Some(membership.side_of_vertices(prefix));
+                let len = info.best_prefix_len.expect("improvement implies witness");
+                best_side = Some(membership.side_of_vertices(&ws.order()[..len]));
             }
         }
 
-        let mut uf = out.uf;
-        if out.unions == 0 {
+        if info.unions == 0 {
             // Bounded/parallel scans may come up empty (§3.2: "we can not
             // guarantee anymore that the algorithm actually finds a
             // contractible edge"). One Stoer–Wagner phase restores the
@@ -178,13 +183,18 @@ pub(crate) fn noi_minimum_cut_connected(
                     best_side = Some(membership.side_of_vertices(&[phase.t]));
                 }
             }
-            uf.union(phase.s, phase.t);
+            ws.uf_mut().union(phase.s, phase.t);
         }
 
-        let (labels, blocks) = uf.dense_labels();
+        let blocks = ws.uf_mut().dense_labels_into(&mut labels_buf);
         debug_assert!(blocks < current.n(), "every round must make progress");
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        let next = if cfg.compute_side {
+            engine.contract_tracked(&current, &labels_buf, blocks, &mut membership)
+        } else {
+            engine.contract(&current, &labels_buf, blocks)
+        };
+        ctx.stats.record_contraction_path(engine.last_path());
         engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the contracted graph (§3.2: "If the collapsed
@@ -207,12 +217,6 @@ pub(crate) fn noi_minimum_cut_connected(
         value: lambda,
         side: best_side,
     })
-}
-
-// One bound-capped counting scan; dispatch shared with Matula in
-// [`crate::capforest::counting_capforest`].
-fn run_pass(g: &CsrGraph, lambda: EdgeWeight, start: NodeId, cfg: &NoiConfig) -> CapforestOutcome {
-    counting_capforest(g, lambda, start, cfg.pq, cfg.bounded)
 }
 
 #[cfg(test)]

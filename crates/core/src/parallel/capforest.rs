@@ -22,13 +22,28 @@
 //! When a region's queue empties, the worker restarts from a fresh
 //! unclaimed vertex so that, as the paper requires, "after all processes
 //! are finished, every vertex was visited exactly once".
+//!
+//! # Pooled worker state
+//!
+//! Each worker's hot state — `r` values, the epoch-stamped vertex states
+//! (queued / scanned / blacklisted), the region buffer, and one
+//! instrumented instance of every queue — lives in a [`ParWorkerState`]
+//! owned by the driver's [`ParWorkerPool`] and *reused across contraction
+//! rounds*: a round hands each spawned thread `&mut` to its slot, so
+//! per-round cost is an epoch bump instead of O(n·threads) allocation and
+//! zeroing. The per-worker PQ-operation tallies come straight from the
+//! worker's own [`CountingPq`] (no thread-local counters).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use mincut_ds::{take_counters, ConcurrentUnionFind, MaxPq, PqCounters};
+use mincut_ds::{
+    BQueuePq, BStackPq, BinaryHeapPq, ConcurrentUnionFind, CountingPq, MaxPq, PqCounters, PqKind,
+};
 use mincut_graph::{CsrGraph, EdgeWeight, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::capforest::MAX_BUCKET_BOUND;
 
 /// Outcome of one parallel CAPFOREST round.
 pub struct ParCapforestOutcome {
@@ -57,9 +72,215 @@ fn fetch_min(shared: &AtomicU64, value: u64) -> bool {
     false
 }
 
-/// Runs Algorithm 1 with `threads` workers. `lambda_hat` is the current
-/// upper bound (bucket queues size their arrays from it). Returns the
-/// shared union-find, the possibly improved bound and its witness.
+/// Vertex states from one worker's point of view; meaningful only while
+/// the worker's stamp matches its epoch (a stale stamp is the old
+/// `Untouched`).
+const QUEUED: u8 = 0;
+const SCANNED: u8 = 1;
+const BLACKLISTED: u8 = 2;
+
+/// One worker's persistent scratch: SoA arrays stamped by an epoch that
+/// advances once per round, plus the worker's queues.
+pub struct ParWorkerState {
+    /// Weight from v into this worker's region (valid iff stamped).
+    r: Vec<EdgeWeight>,
+    /// QUEUED / SCANNED / BLACKLISTED (valid iff stamped).
+    state: Vec<u8>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Vertices of the worker's regions, in scan order.
+    region: Vec<NodeId>,
+    bstack: CountingPq<BStackPq>,
+    bqueue: CountingPq<BQueuePq>,
+    heap: CountingPq<BinaryHeapPq>,
+}
+
+impl Default for ParWorkerState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParWorkerState {
+    pub fn new() -> Self {
+        ParWorkerState {
+            r: Vec::new(),
+            state: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            region: Vec::new(),
+            bstack: MaxPq::new(),
+            bqueue: MaxPq::new(),
+            heap: MaxPq::new(),
+        }
+    }
+
+    fn begin_round(&mut self, n: usize) {
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.r.len() < n {
+            self.r.resize(n, 0);
+            self.state.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        self.region.clear();
+    }
+}
+
+/// A driver-owned pool of per-worker state, reused across rounds.
+#[derive(Default)]
+pub struct ParWorkerPool {
+    workers: Vec<ParWorkerState>,
+}
+
+impl ParWorkerPool {
+    pub fn new() -> Self {
+        ParWorkerPool {
+            workers: Vec::new(),
+        }
+    }
+}
+
+/// Runs Algorithm 1 with `threads` workers pulling their state from
+/// `pool` (grown on demand, reused across rounds). `lambda_hat` is the
+/// current upper bound; the queue kind dispatches per round, falling back
+/// to the heap when the bound exceeds the bucket range.
+pub fn parallel_capforest_pooled(
+    g: &CsrGraph,
+    lambda_hat: EdgeWeight,
+    threads: usize,
+    seed: u64,
+    pq: PqKind,
+    pool: &mut ParWorkerPool,
+) -> ParCapforestOutcome {
+    let n = g.n();
+    assert!(threads >= 1);
+    if pool.workers.len() < threads {
+        pool.workers.resize_with(threads, ParWorkerState::new);
+    }
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let cuf = ConcurrentUnionFind::new(n);
+    let lambda = AtomicU64::new(lambda_hat);
+    let claimed = AtomicUsize::new(0);
+    // Shared restart cursor over the vertex range: when a worker's random
+    // probes fail it sweeps this cursor to find an unclaimed start, which
+    // also covers "the sparse regions of the graph which might otherwise
+    // not be scanned by any process".
+    let cursor = AtomicUsize::new(0);
+    let use_heap = lambda_hat > MAX_BUCKET_BOUND;
+
+    // Each worker returns (best_alpha, witness_region_prefix, pq_ops).
+    let worker_best: Vec<(EdgeWeight, Option<Vec<NodeId>>, PqCounters)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pool
+                .workers
+                .iter_mut()
+                .take(threads)
+                .enumerate()
+                .map(|(tid, ws)| {
+                    let visited = &visited;
+                    let cuf = &cuf;
+                    let lambda = &lambda;
+                    let claimed = &claimed;
+                    let cursor = &cursor;
+                    let wseed = seed
+                        .wrapping_add(tid as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    scope.spawn(move || {
+                        ws.begin_round(n);
+                        // Split the borrow: queues out of the scratch view.
+                        let ParWorkerState {
+                            r,
+                            state,
+                            stamp,
+                            epoch,
+                            region,
+                            bstack,
+                            bqueue,
+                            heap,
+                        } = ws;
+                        let mut core = WorkerCore {
+                            r,
+                            state,
+                            stamp,
+                            epoch: *epoch,
+                            region,
+                        };
+                        let mut run = |q: &mut dyn DynPq| {
+                            worker(
+                                g, lambda_hat, wseed, visited, cuf, lambda, claimed, cursor, q,
+                                &mut core,
+                            )
+                        };
+                        match pq {
+                            PqKind::BStack if !use_heap => run(bstack),
+                            PqKind::BQueue if !use_heap => run(bqueue),
+                            _ => run(heap),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+    finish_round(worker_best, &lambda, lambda_hat, cuf)
+}
+
+/// Object-safe view of [`MaxPq`] for the per-round queue dispatch (the
+/// inner loop still calls through concrete monomorphised queues when the
+/// generic [`parallel_capforest`] entry point is used; here one virtual
+/// call per queue op trades a negligible cost for not triplicating the
+/// worker driver).
+trait DynPq {
+    fn reset(&mut self, n: usize, max_priority: u64);
+    fn push(&mut self, v: u32, prio: u64);
+    fn raise(&mut self, v: u32, prio: u64);
+    fn pop_max(&mut self) -> Option<(u32, u64)>;
+    fn priority(&self, v: u32) -> u64;
+    fn take_ops(&mut self) -> PqCounters;
+}
+
+impl<P: MaxPq> DynPq for P {
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        MaxPq::reset(self, n, max_priority);
+    }
+    fn push(&mut self, v: u32, prio: u64) {
+        MaxPq::push(self, v, prio);
+    }
+    fn raise(&mut self, v: u32, prio: u64) {
+        MaxPq::raise(self, v, prio);
+    }
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        MaxPq::pop_max(self)
+    }
+    fn priority(&self, v: u32) -> u64 {
+        MaxPq::priority(self, v)
+    }
+    fn take_ops(&mut self) -> PqCounters {
+        MaxPq::take_ops(self)
+    }
+}
+
+/// Borrowed view of one worker's scratch for a single round.
+struct WorkerCore<'a> {
+    r: &'a mut [EdgeWeight],
+    state: &'a mut [u8],
+    stamp: &'a mut [u32],
+    epoch: u32,
+    region: &'a mut Vec<NodeId>,
+}
+
+/// Runs Algorithm 1 with `threads` workers of queue type `P`, allocating
+/// fresh worker state per call. The pooled entry point
+/// [`parallel_capforest_pooled`] is what the round loop of
+/// [`crate::parallel::mincut`] uses; this generic variant remains for
+/// tests and one-shot measurements.
 pub fn parallel_capforest<P: MaxPq + Send>(
     g: &CsrGraph,
     lambda_hat: EdgeWeight,
@@ -72,13 +293,8 @@ pub fn parallel_capforest<P: MaxPq + Send>(
     let cuf = ConcurrentUnionFind::new(n);
     let lambda = AtomicU64::new(lambda_hat);
     let claimed = AtomicUsize::new(0);
-    // Shared restart cursor over the vertex range: when a worker's random
-    // probes fail it sweeps this cursor to find an unclaimed start, which
-    // also covers "the sparse regions of the graph which might otherwise
-    // not be scanned by any process".
     let cursor = AtomicUsize::new(0);
 
-    // Each worker returns (best_alpha, witness_region_prefix, pq_ops).
     let worker_best: Vec<(EdgeWeight, Option<Vec<NodeId>>, PqCounters)> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -88,17 +304,23 @@ pub fn parallel_capforest<P: MaxPq + Send>(
                     let lambda = &lambda;
                     let claimed = &claimed;
                     let cursor = &cursor;
+                    let wseed = seed
+                        .wrapping_add(tid as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
                     scope.spawn(move || {
-                        worker::<P>(
-                            g,
-                            lambda_hat,
-                            seed.wrapping_add(tid as u64)
-                                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                            visited,
-                            cuf,
-                            lambda,
-                            claimed,
-                            cursor,
+                        let mut ws = ParWorkerState::new();
+                        ws.begin_round(n);
+                        let mut q = P::new();
+                        let mut core = WorkerCore {
+                            r: &mut ws.r,
+                            state: &mut ws.state,
+                            stamp: &mut ws.stamp,
+                            epoch: ws.epoch,
+                            region: &mut ws.region,
+                        };
+                        worker(
+                            g, lambda_hat, wseed, visited, cuf, lambda, claimed, cursor, &mut q,
+                            &mut core,
                         )
                     })
                 })
@@ -109,12 +331,19 @@ pub fn parallel_capforest<P: MaxPq + Send>(
                 .collect()
         });
 
+    finish_round(worker_best, &lambda, lambda_hat, cuf)
+}
+
+fn finish_round(
+    worker_best: Vec<(EdgeWeight, Option<Vec<NodeId>>, PqCounters)>,
+    lambda: &AtomicU64,
+    lambda_hat: EdgeWeight,
+    cuf: ConcurrentUnionFind,
+) -> ParCapforestOutcome {
     let final_lambda = lambda.load(Ordering::Acquire);
     let mut pq_ops = PqCounters::default();
     for (_, _, c) in &worker_best {
-        pq_ops.pushes += c.pushes;
-        pq_ops.raises += c.raises;
-        pq_ops.pops += c.pops;
+        pq_ops.add(*c);
     }
     let mut best_prefix = None;
     if final_lambda < lambda_hat {
@@ -137,18 +366,8 @@ pub fn parallel_capforest<P: MaxPq + Send>(
     }
 }
 
-/// State of a vertex from one worker's point of view.
-#[derive(Clone, Copy, PartialEq)]
-enum Local {
-    Untouched,
-    /// Scanned by this worker (a member of its region).
-    Scanned,
-    /// Popped but already claimed by another worker (the paper's B set).
-    Blacklisted,
-}
-
 #[allow(clippy::too_many_arguments)]
-fn worker<P: MaxPq>(
+fn worker(
     g: &CsrGraph,
     initial_lambda: EdgeWeight,
     seed: u64,
@@ -157,18 +376,16 @@ fn worker<P: MaxPq>(
     lambda: &AtomicU64,
     claimed: &AtomicUsize,
     cursor: &AtomicUsize,
+    q: &mut dyn DynPq,
+    ws: &mut WorkerCore<'_>,
 ) -> (EdgeWeight, Option<Vec<NodeId>>, PqCounters) {
     let n = g.n();
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut r = vec![0 as EdgeWeight; n];
-    let mut local = vec![Local::Untouched; n];
-    let mut in_queue_epoch = vec![false; n];
-    let mut q = P::new();
+    let epoch = ws.epoch;
     // Bucket queues need the *initial* bound: λ̂ only decreases, so every
     // capped priority fits.
     q.reset(n, initial_lambda);
 
-    let mut region: Vec<NodeId> = Vec::new();
     let mut alpha: i128 = 0;
     let mut best_alpha = EdgeWeight::MAX;
     let mut best_len = 0usize;
@@ -196,33 +413,35 @@ fn worker<P: MaxPq>(
             }
         }
         let Some(start) = start else { break };
-        if local[start as usize] != Local::Untouched || in_queue_epoch[start as usize] {
+        if ws.stamp[start as usize] == epoch {
             continue; // we already processed it ourselves; try again
         }
         q.push(start, 0);
-        in_queue_epoch[start as usize] = true;
+        ws.stamp[start as usize] = epoch;
+        ws.state[start as usize] = QUEUED;
+        ws.r[start as usize] = 0;
 
         while let Some((x, _)) = q.pop_max() {
             let xi = x as usize;
             // Claim or blacklist (Algorithm 1 lines 9–13, with an atomic
             // swap so "visited exactly once" holds without locking).
             if visited[xi].swap(true, Ordering::AcqRel) {
-                local[xi] = Local::Blacklisted;
+                ws.state[xi] = BLACKLISTED;
                 continue;
             }
-            local[xi] = Local::Scanned;
+            ws.state[xi] = SCANNED;
             claimed.fetch_add(1, Ordering::Relaxed);
-            region.push(x);
+            ws.region.push(x);
             // Lines 14–15: the cut between this worker's region and the
             // rest; only proper subsets count.
-            alpha += g.weighted_degree(x) as i128 - 2 * r[xi] as i128;
+            alpha += g.weighted_degree(x) as i128 - 2 * ws.r[xi] as i128;
             debug_assert!(alpha >= 0);
-            if (region.len() as u64) < n as u64 && (alpha as u64) < best_alpha {
+            if (ws.region.len() as u64) < n as u64 && (alpha as u64) < best_alpha {
                 // Proper subset? The region is a subset of the claimed set;
                 // it equals V only if this worker claimed everything.
-                if region.len() < n {
+                if ws.region.len() < n {
                     best_alpha = alpha as u64;
-                    best_len = region.len();
+                    best_len = ws.region.len();
                     fetch_min(lambda, best_alpha);
                 }
             }
@@ -230,26 +449,26 @@ fn worker<P: MaxPq>(
             let lam_now = lambda.load(Ordering::Relaxed);
             for (y, w) in g.arcs(x) {
                 let yi = y as usize;
-                if local[yi] != Local::Untouched {
+                let fresh = ws.stamp[yi] != epoch;
+                if !fresh && ws.state[yi] != QUEUED {
                     continue; // scanned by us or blacklisted (line 16)
                 }
-                let ry = r[yi];
+                let ry = if fresh { 0 } else { ws.r[yi] };
                 // Line 17: the connectivity certificate crosses λ̂.
                 if ry < lam_now && lam_now <= ry + w {
                     cuf.union(x, y);
                 }
-                r[yi] = ry + w;
+                ws.r[yi] = ry + w;
                 let prio = (ry + w).min(lam_now).min(initial_lambda);
-                if in_queue_epoch[yi] {
-                    // y is still queued (a popped y would have left the
-                    // Untouched state and been skipped above); keep the key
-                    // monotone.
-                    if q.contains(y) && prio > q.priority(y) {
+                if fresh {
+                    q.push(y, prio);
+                    ws.stamp[yi] = epoch;
+                    ws.state[yi] = QUEUED;
+                } else {
+                    // y is still queued; keep the key monotone.
+                    if prio > q.priority(y) {
                         q.raise(y, prio);
                     }
-                } else {
-                    q.push(y, prio);
-                    in_queue_epoch[yi] = true;
                 }
             }
         }
@@ -258,16 +477,13 @@ fn worker<P: MaxPq>(
         }
     }
 
-    let witness = (best_alpha != EdgeWeight::MAX).then(|| region[..best_len].to_vec());
-    // Each worker thread owns fresh thread-local PQ counters; harvesting
-    // them here lets the driver report totals across the round.
-    (best_alpha, witness, take_counters())
+    let witness = (best_alpha != EdgeWeight::MAX).then(|| ws.region[..best_len].to_vec());
+    (best_alpha, witness, q.take_ops())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq};
     use mincut_graph::generators::known;
 
     fn run<P: MaxPq + Send>(g: &CsrGraph, lh: EdgeWeight, threads: usize) -> ParCapforestOutcome {
@@ -340,5 +556,42 @@ mod tests {
             side[v as usize] = true;
         }
         assert_eq!(g.cut_value(&side), 0);
+    }
+
+    #[test]
+    fn pooled_rounds_match_fresh_state_at_one_thread() {
+        // With one worker the round is deterministic, so a pooled pool
+        // re-run must be op-for-op identical to fresh per-call state —
+        // across several rounds and queue kinds, proving no state leaks
+        // between epochs.
+        let mut pool = ParWorkerPool::new();
+        let graphs = [
+            known::grid_graph(9, 9, 2).0,
+            known::two_communities(12, 13, 2, 3, 1).0,
+            known::cycle_graph(50, 4).0,
+        ];
+        for round in 0..3 {
+            for g in &graphs {
+                let bound = g.min_weighted_degree().unwrap().1;
+                for pq in PqKind::ALL {
+                    let pooled = parallel_capforest_pooled(g, bound, 1, 777, pq, &mut pool);
+                    let fresh = match pq {
+                        PqKind::BStack => {
+                            parallel_capforest::<CountingPq<BStackPq>>(g, bound, 1, 777)
+                        }
+                        PqKind::BQueue => {
+                            parallel_capforest::<CountingPq<BQueuePq>>(g, bound, 1, 777)
+                        }
+                        PqKind::Heap => {
+                            parallel_capforest::<CountingPq<BinaryHeapPq>>(g, bound, 1, 777)
+                        }
+                    };
+                    assert_eq!(pooled.lambda_hat, fresh.lambda_hat, "round {round}");
+                    assert_eq!(pooled.best_prefix, fresh.best_prefix);
+                    assert_eq!(pooled.pq_ops, fresh.pq_ops);
+                    assert_eq!(pooled.cuf.count(), fresh.cuf.count());
+                }
+            }
+        }
     }
 }

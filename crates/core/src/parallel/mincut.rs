@@ -17,14 +17,14 @@
 //! even that marks nothing (possible with a bounded queue), one
 //! Stoer–Wagner phase, which always makes progress.
 
-use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, PqKind};
-use mincut_graph::{ContractionEngine, CsrGraph, EdgeWeight, Membership, NodeId};
+use mincut_ds::PqKind;
+use mincut_graph::{ContractionEngine, CsrGraph, Membership, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::capforest::capforest;
+use crate::capforest::ScanWorkspace;
 use crate::error::MinCutError;
-use crate::parallel::capforest::{parallel_capforest, ParCapforestOutcome};
+use crate::parallel::capforest::{parallel_capforest_pooled, ParWorkerPool};
 use crate::stats::{SolveContext, SolverStats};
 use crate::stoer_wagner::stoer_wagner_phase;
 use crate::viecut::{viecut_connected, VieCutConfig};
@@ -136,13 +136,17 @@ pub(crate) fn parallel_minimum_cut_connected(
     ctx.stats.record_lambda(lambda);
 
     let mut engine = ContractionEngine::new();
+    let mut pool = ParWorkerPool::new();
+    let mut rescue_ws = ScanWorkspace::new();
     let mut current = g.clone();
-    let mut membership = Membership::identity(g.n());
+    // Witness bookkeeping only when a side is requested (as in NOI).
+    let mut membership = Membership::identity(if cfg.compute_side { g.n() } else { 0 });
 
     while current.n() > 2 {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
-        let out = run_parallel_pass(&current, lambda, cfg);
+        let out =
+            parallel_capforest_pooled(&current, lambda, cfg.threads, cfg.seed, cfg.pq, &mut pool);
         ctx.stats.add_pq_ops(out.pq_ops);
         if out.lambda_hat < lambda {
             lambda = out.lambda_hat;
@@ -159,16 +163,16 @@ pub(crate) fn parallel_minimum_cut_connected(
         } else {
             // Rescue 1: one sequential CAPFOREST pass (Algorithm 2 line 5).
             let start = rng.gen_range(0..current.n() as NodeId);
-            let seq = capforest::<CountingPq<BinaryHeapPq>>(&current, lambda, start, true);
+            let seq = rescue_ws.scan(&current, lambda, start, PqKind::Heap, true);
+            ctx.stats.add_pq_ops(rescue_ws.take_ops());
             if seq.lambda_hat < lambda {
                 lambda = seq.lambda_hat;
                 ctx.stats.record_lambda(lambda);
                 if cfg.compute_side {
-                    let prefix = seq.best_prefix().expect("improvement has witness");
-                    best_side = Some(membership.side_of_vertices(prefix));
+                    let len = seq.best_prefix_len.expect("improvement has witness");
+                    best_side = Some(membership.side_of_vertices(&rescue_ws.order()[..len]));
                 }
             }
-            let mut uf = seq.uf;
             if seq.unions == 0 {
                 // Rescue 2: a Stoer–Wagner phase always contracts safely.
                 ctx.stats.sw_rescues += 1;
@@ -180,14 +184,19 @@ pub(crate) fn parallel_minimum_cut_connected(
                         best_side = Some(membership.side_of_vertices(&[phase.t]));
                     }
                 }
-                uf.union(phase.s, phase.t);
+                rescue_ws.uf_mut().union(phase.s, phase.t);
             }
-            uf.dense_labels()
+            rescue_ws.uf_mut().dense_labels()
         };
 
         debug_assert!(blocks < current.n(), "every round must make progress");
         ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-        let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+        let next = if cfg.compute_side {
+            engine.contract_tracked(&current, &labels, blocks, &mut membership)
+        } else {
+            engine.contract(&current, &labels, blocks)
+        };
+        ctx.stats.record_contraction_path(engine.last_path());
         engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the collapsed graph (§3.2).
@@ -208,25 +217,11 @@ pub(crate) fn parallel_minimum_cut_connected(
     })
 }
 
-// Worker queues are wrapped in [`CountingPq`] so the per-round outcome
-// carries PQ-operation totals across all threads.
-fn run_parallel_pass(g: &CsrGraph, lambda: EdgeWeight, cfg: &ParCutConfig) -> ParCapforestOutcome {
-    const MAX_BUCKET_BOUND: EdgeWeight = 1 << 26;
-    match cfg.pq {
-        PqKind::BStack if lambda <= MAX_BUCKET_BOUND => {
-            parallel_capforest::<CountingPq<BStackPq>>(g, lambda, cfg.threads, cfg.seed)
-        }
-        PqKind::BQueue if lambda <= MAX_BUCKET_BOUND => {
-            parallel_capforest::<CountingPq<BQueuePq>>(g, lambda, cfg.threads, cfg.seed)
-        }
-        _ => parallel_capforest::<CountingPq<BinaryHeapPq>>(g, lambda, cfg.threads, cfg.seed),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mincut_graph::generators::known;
+    use mincut_graph::EdgeWeight;
 
     fn all_configs(threads: usize) -> Vec<ParCutConfig> {
         let mut v = Vec::new();

@@ -8,7 +8,6 @@
 
 use std::time::Instant;
 
-use mincut_ds::take_counters;
 use mincut_graph::components::{connected_components, smallest_component_side};
 use mincut_graph::CsrGraph;
 
@@ -163,9 +162,8 @@ fn solve_impl<S: Solver + ?Sized>(
         }
     }
 
-    // Harvest the calling thread's PQ counters around the run; the
-    // parallel drivers add their workers' counters explicitly.
-    let _ = take_counters();
+    // PQ-operation totals flow from the drivers' own instrumented queues
+    // into the context (no thread-local counters anywhere).
     let mut ctx = SolveContext::with_budget(&mut stats, opts.time_budget);
     let computed: ReduceOutcome;
     let kernel: Option<&ReduceOutcome> = if !kernelize {
@@ -192,7 +190,6 @@ fn solve_impl<S: Solver + ?Sized>(
         None => solver.run(g, opts, &mut ctx),
         Some(red) => finish_with_kernel(solver, g, opts, red, &mut ctx),
     };
-    stats.add_pq_ops(take_counters());
     let cut = result?;
 
     stats.record_lambda(cut.value);

@@ -6,13 +6,14 @@
 //! unlocked by the VieCut bound (§3.1.1), bound improvements per pass.
 //! These counters make that measurable on every run instead of only
 //! inside the bench harness: the λ̂ trajectory, contraction and rescue
-//! counts, PQ operation totals (harvested from
-//! [`mincut_ds::take_counters`]) and named phase timings.
+//! counts (with the accumulation path each round took), PQ operation
+//! totals (harvested from the drivers' [`mincut_ds::CountingPq`]
+//! instances) and named phase timings.
 
 use std::time::Instant;
 
 use mincut_ds::PqCounters;
-use mincut_graph::EdgeWeight;
+use mincut_graph::{ContractionEngine, ContractionPath, EdgeWeight};
 
 use crate::error::MinCutError;
 
@@ -68,6 +69,12 @@ pub struct SolverStats {
     pub contracted_vertices: u64,
     /// Stoer–Wagner rescue phases taken when a scan marked nothing.
     pub sw_rescues: u64,
+    /// Which [`ContractionEngine`] accumulation strategy each contraction
+    /// round took, in round order (the engine's density heuristic and the
+    /// `SEQUENTIAL_FALLBACK_THRESHOLD` dispatch decide; both constants
+    /// are exported in [`SolverStats::to_json`] so bench output can
+    /// attribute hash-vs-sort wins to the rounds that took each path).
+    pub contraction_paths: Vec<ContractionPath>,
     /// Priority-queue operation totals (pushes / raises / pops) across
     /// the run, including parallel workers.
     pub pq_ops: PqCounters,
@@ -112,9 +119,13 @@ impl SolverStats {
 
     /// Accumulates harvested priority-queue counters.
     pub fn add_pq_ops(&mut self, c: PqCounters) {
-        self.pq_ops.pushes += c.pushes;
-        self.pq_ops.raises += c.raises;
-        self.pq_ops.pops += c.pops;
+        self.pq_ops.add(c);
+    }
+
+    /// Records which accumulation path a contraction round took (read
+    /// from [`ContractionEngine::last_path`] right after the round).
+    pub fn record_contraction_path(&mut self, path: ContractionPath) {
+        self.contraction_paths.push(path);
     }
 
     /// Absorbs the work counters of a nested run (e.g. VieCut's exact
@@ -125,6 +136,8 @@ impl SolverStats {
         self.contracted_vertices += nested.contracted_vertices;
         self.sw_rescues += nested.sw_rescues;
         self.add_pq_ops(nested.pq_ops);
+        self.contraction_paths
+            .extend_from_slice(&nested.contraction_paths);
     }
 
     /// Times `f` and records it as phase `name`.
@@ -173,6 +186,20 @@ impl SolverStats {
             s.push_str(&format!("\"seconds\":{:.9}}}", p.seconds));
         }
         s.push_str("],");
+        s.push_str("\"contraction_paths\":[");
+        for (i, p) in self.contraction_paths.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_string(&p.to_string()));
+        }
+        s.push_str("],");
+        s.push_str(&format!(
+            "\"contraction_dispatch\":{{\"sequential_fallback_threshold\":{},\
+             \"sort_min_estimated_pairs\":{}}},",
+            ContractionEngine::SEQUENTIAL_FALLBACK_THRESHOLD,
+            ContractionEngine::SORT_MIN_ESTIMATED_PAIRS
+        ));
         s.push_str(&format!(
             "\"kernel_n\":{},\"kernel_m\":{},",
             self.kernel_n, self.kernel_m

@@ -22,8 +22,11 @@ use crate::error::MinCutError;
 use crate::stats::{SolveContext, SolverStats};
 use crate::MinCutResult;
 
-/// Result of one maximum-adjacency phase.
-pub(crate) struct SwPhase {
+/// Result of one maximum-adjacency phase. Public (doc-hidden) so the
+/// `hotpath` bench baseline can reconstruct the pre-rewrite NOI loop,
+/// rescue phase included; not part of the supported API surface.
+#[doc(hidden)]
+pub struct SwPhase {
     /// Second-to-last vertex of the order.
     pub s: NodeId,
     /// Last vertex of the order; `cut_of_phase` isolates it.
@@ -34,7 +37,9 @@ pub(crate) struct SwPhase {
 
 /// Runs one maximum-adjacency phase from `start`. Requires a connected
 /// graph with at least two vertices (callers contract components away).
-pub(crate) fn stoer_wagner_phase(g: &CsrGraph, start: NodeId) -> SwPhase {
+/// Public (doc-hidden) for the `hotpath` bench baseline only.
+#[doc(hidden)]
+pub fn stoer_wagner_phase(g: &CsrGraph, start: NodeId) -> SwPhase {
     let n = g.n();
     debug_assert!(n >= 2);
     let mut q = BinaryHeapPq::new();

@@ -18,6 +18,24 @@ use rayon::prelude::*;
 
 /// Runs `iterations` rounds of label propagation; returns dense cluster
 /// labels in `[0, count)` and the cluster count.
+///
+/// Above this vertex count the per-chunk flat tally (two O(n) arrays per
+/// chunk task) would dominate the arc work, so large graphs keep the
+/// degree-bounded hash tally instead. Both tallies choose identical
+/// labels (the running best depends only on arc order), so the switch is
+/// invisible to callers.
+const FLAT_TALLY_MAX_N: usize = 1 << 16;
+
+/// The per-vertex tally is a flat epoch-stamped array indexed by label —
+/// one L1-friendly indexed add per arc instead of the hash probe the
+/// previous implementation paid (labels converge to a handful of hot
+/// slots after the first iteration, so the accesses stay cache-resident).
+/// The flat array is sized O(n) per chunk task, so graphs past
+/// [`FLAT_TALLY_MAX_N`] use the hash tally. The running best is evaluated
+/// incrementally in arc order either way, exactly what the old
+/// implementation did, so the chosen labels are bit-identical
+/// (`flat_tally_matches_hash_tally` pins this against the frozen baseline
+/// [`label_propagation_hash_tally`]).
 pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<NodeId>, usize) {
     let n = g.n();
     if n == 0 {
@@ -34,6 +52,98 @@ pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<Nod
             .map(|p| order[p as usize])
             .collect();
         const CHUNK: usize = 1 << 10;
+        if n <= FLAT_TALLY_MAX_N {
+            order.par_chunks(CHUNK).for_each(|chunk| {
+                // Per-chunk scratch: `tally[l]` is valid iff `stamp[l]`
+                // holds the current vertex's epoch, so no clearing
+                // between vertices. One allocation per chunk, amortised
+                // over up to CHUNK vertices' arcs.
+                let mut tally: Vec<EdgeWeight> = vec![0; n];
+                let mut stamp: Vec<u32> = vec![0; n];
+                let mut epoch = 0u32;
+                for &v in chunk {
+                    epoch += 1;
+                    let mut best_label = labels[v as usize].load(Ordering::Relaxed);
+                    let mut best_weight = 0;
+                    for (u, w) in g.arcs(v) {
+                        let lu = labels[u as usize].load(Ordering::Relaxed);
+                        let li = lu as usize;
+                        let e = if stamp[li] == epoch { tally[li] + w } else { w };
+                        tally[li] = e;
+                        stamp[li] = epoch;
+                        if e > best_weight || (e == best_weight && lu < best_label) {
+                            best_weight = e;
+                            best_label = lu;
+                        }
+                    }
+                    if best_weight > 0 {
+                        labels[v as usize].store(best_label, Ordering::Relaxed);
+                    }
+                }
+            });
+        } else {
+            order.par_chunks(CHUNK).for_each(|chunk| {
+                let mut tally: FxHashMap<NodeId, EdgeWeight> = FxHashMap::default();
+                for &v in chunk {
+                    tally.clear();
+                    let mut best_label = labels[v as usize].load(Ordering::Relaxed);
+                    let mut best_weight = 0;
+                    for (u, w) in g.arcs(v) {
+                        let lu = labels[u as usize].load(Ordering::Relaxed);
+                        let e = tally.entry(lu).or_insert(0);
+                        *e += w;
+                        if *e > best_weight || (*e == best_weight && lu < best_label) {
+                            best_weight = *e;
+                            best_label = lu;
+                        }
+                    }
+                    if best_weight > 0 {
+                        labels[v as usize].store(best_label, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    }
+
+    // Dense relabelling.
+    const UNSET: NodeId = NodeId::MAX;
+    let mut remap = vec![UNSET; n];
+    let mut out = vec![0 as NodeId; n];
+    let mut next = 0 as NodeId;
+    for v in 0..n {
+        let l = labels[v].load(Ordering::Relaxed) as usize;
+        if remap[l] == UNSET {
+            remap[l] = next;
+            next += 1;
+        }
+        out[v] = remap[l];
+    }
+    (out, next as usize)
+}
+
+/// The pre-rewrite tally loop, frozen verbatim: a hash-map probe per arc.
+/// Kept (doc-hidden) so the `hotpath` bench baseline can reconstruct the
+/// old VieCut seeding path; produces labels identical to
+/// [`label_propagation`] (asserted by `flat_tally_matches_hash_tally`).
+#[doc(hidden)]
+pub fn label_propagation_hash_tally(
+    g: &CsrGraph,
+    iterations: usize,
+    seed: u64,
+) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let labels: Vec<AtomicU32> = (0..n as NodeId).map(AtomicU32::new).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    for _ in 0..iterations {
+        order = mincut_graph::generators::random_permutation(n, &mut rng)
+            .into_iter()
+            .map(|p| order[p as usize])
+            .collect();
+        const CHUNK: usize = 1 << 10;
         order.par_chunks(CHUNK).for_each(|chunk| {
             let mut tally: FxHashMap<NodeId, EdgeWeight> = FxHashMap::default();
             for &v in chunk {
@@ -44,8 +154,6 @@ pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<Nod
                     let lu = labels[u as usize].load(Ordering::Relaxed);
                     let e = tally.entry(lu).or_insert(0);
                     *e += w;
-                    // Deterministic-ish tie-breaking: heavier label wins,
-                    // then the smaller label id.
                     if *e > best_weight || (*e == best_weight && lu < best_label) {
                         best_weight = *e;
                         best_label = lu;
@@ -57,8 +165,6 @@ pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<Nod
             }
         });
     }
-
-    // Dense relabelling.
     const UNSET: NodeId = NodeId::MAX;
     let mut remap = vec![UNSET; n];
     let mut out = vec![0 as NodeId; n];
@@ -112,6 +218,40 @@ mod tests {
         let (labels, count) = label_propagation(&g, 0, 0);
         assert_eq!(count, 6);
         assert_eq!(labels, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_tally_matches_hash_tally() {
+        // The flat epoch-stamped array tally must produce labels
+        // bit-identical to the frozen hash-tally baseline: the running
+        // best depends only on arc order, which both share. All graphs
+        // here fit in a single LP chunk (≤ 1024 vertices), so the whole
+        // propagation is deterministic at any rayon schedule and the
+        // full label vectors must agree.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut graphs = vec![
+            known::two_communities(20, 24, 2, 3, 1).0,
+            known::grid_graph(9, 11, 2).0,
+            known::cycle_graph(64, 5).0,
+        ];
+        // A hub vertex with many distinct neighbour labels stresses the
+        // first-iteration worst case of both tallies.
+        let mut edges: Vec<(NodeId, NodeId, u64)> = (1..120)
+            .map(|v| (0 as NodeId, v as NodeId, rng.gen_range(1..5)))
+            .collect();
+        for v in 1..119 {
+            edges.push((v as NodeId, v as NodeId + 1, 1));
+        }
+        graphs.push(CsrGraph::from_edges(120, &edges));
+        for (i, g) in graphs.iter().enumerate() {
+            for iters in [1usize, 3] {
+                let (a, ca) = label_propagation(g, iters, 1234 + i as u64);
+                let (b, cb) = label_propagation_hash_tally(g, iters, 1234 + i as u64);
+                assert_eq!(ca, cb, "graph {i}, {iters} iterations");
+                assert_eq!(a, b, "graph {i}, {iters} iterations");
+            }
+        }
     }
 
     #[test]

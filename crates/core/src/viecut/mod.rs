@@ -99,7 +99,19 @@ pub(crate) fn viecut_connected(
 ) -> Result<MinCutResult, MinCutError> {
     let mut engine = ContractionEngine::new();
     let mut current = g.clone();
-    let mut membership = Membership::identity(g.n());
+    // Witness bookkeeping only when a side is requested (as in NOI).
+    let mut membership = Membership::identity(if cfg.compute_side { g.n() } else { 0 });
+    let contract = |engine: &mut ContractionEngine,
+                    current: &CsrGraph,
+                    labels: &[mincut_graph::NodeId],
+                    blocks: usize,
+                    membership: &mut Membership| {
+        if cfg.compute_side {
+            engine.contract_tracked(current, labels, blocks, membership)
+        } else {
+            engine.contract(current, labels, blocks)
+        }
+    };
     let (dv, mut lambda) = {
         let (v, d) = g.min_weighted_degree().expect("n >= 2");
         (v, d)
@@ -113,6 +125,8 @@ pub(crate) fn viecut_connected(
     ctx.stats.record_lambda(lambda);
 
     let mut level_seed = cfg.seed;
+    let mut uf = UnionFind::new(0);
+    let mut labels_buf = Vec::new();
     while current.n() > cfg.exact_threshold {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
@@ -129,19 +143,21 @@ pub(crate) fn viecut_connected(
         }
         if clusters < current.n() {
             ctx.stats.contracted_vertices += (current.n() - clusters) as u64;
-            let next = engine.contract_tracked(&current, &labels, clusters, &mut membership);
+            let next = contract(&mut engine, &current, &labels, clusters, &mut membership);
+            ctx.stats.record_contraction_path(engine.last_path());
             engine.recycle(std::mem::replace(&mut current, next));
             update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
             ctx.stats.record_lambda(lambda);
         }
         // (2) Padberg–Rinaldi pass on the contracted graph.
         if current.n() > cfg.exact_threshold {
-            let mut uf = UnionFind::new(current.n());
+            uf.reset(current.n());
             let unions = padberg_rinaldi_pass(&current, lambda, &mut uf);
             if unions > 0 && uf.count() > 1 {
-                let (labels, blocks) = uf.dense_labels();
+                let blocks = uf.dense_labels_into(&mut labels_buf);
                 ctx.stats.contracted_vertices += (current.n() - blocks) as u64;
-                let next = engine.contract_tracked(&current, &labels, blocks, &mut membership);
+                let next = contract(&mut engine, &current, &labels_buf, blocks, &mut membership);
+                ctx.stats.record_contraction_path(engine.last_path());
                 engine.recycle(std::mem::replace(&mut current, next));
                 update_trivial_bound(&current, &membership, &mut lambda, &mut best_side, cfg);
                 ctx.stats.record_lambda(lambda);

@@ -18,8 +18,10 @@
 //! * a fast non-cryptographic hasher ([`hash::FxHasher`]) so the hot
 //!   contraction loops do not pay SipHash costs.
 //!
-//! All structures are allocation-conscious: queues are created once per
-//! CAPFOREST pass and reused via [`pq::MaxPq::reset`].
+//! All structures are allocation-conscious: the bucket queues live on flat
+//! intrusive arrays with epoch-stamped O(1) [`pq::MaxPq::reset`], so one
+//! queue instance serves every CAPFOREST pass of a solve without clearing
+//! or reallocating (see the `pq` module docs for the layout).
 
 pub mod hash;
 pub mod pq;
@@ -30,6 +32,4 @@ pub use sharded_map::{pack_edge, unpack_edge, ShardedMap};
 pub use union_find::{ConcurrentUnionFind, UnionFind};
 
 /// Convenience re-export of the priority-queue trait and implementations.
-pub use pq::{
-    take_counters, BQueuePq, BStackPq, BinaryHeapPq, CountingPq, MaxPq, PqCounters, PqKind,
-};
+pub use pq::{BQueuePq, BStackPq, BinaryHeapPq, CountingPq, MaxPq, PqCounters, PqKind};

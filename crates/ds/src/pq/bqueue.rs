@@ -1,44 +1,49 @@
-//! Deque-backed bucket priority queue (the paper's **BQueue**).
+//! Flat intrusive bucket priority queue, FIFO buckets (the paper's
+//! **BQueue**).
 
-use std::collections::VecDeque;
+use super::{bucket_of, MaxPq, EPOCH_LIMIT, NONE};
 
-use super::MaxPq;
-
-/// Bucket max-priority queue with FIFO buckets.
+/// Bucket max-priority queue with FIFO buckets on a flat intrusive layout.
 ///
-/// Identical to [`super::BStackPq`] except each bucket is a `VecDeque` and
+/// Identical machinery to [`super::BStackPq`] — one doubly-linked list per
+/// integer priority, links stored intrusively in a flat per-vertex array,
+/// epoch-stamped membership and bucket heads so [`MaxPq::reset`] is O(1) —
+/// except each bucket also tracks a *tail* and insertions append there, so
 /// `pop_max` returns the *oldest* element of the highest non-empty bucket.
 /// The CAPFOREST scan therefore behaves closer to a breadth-first search,
 /// exploring vertices discovered earlier (closer to the source) first
-/// (§3.1.3). The paper finds this variant scales best in the parallel
+/// (§3.1.3); the paper finds this variant scales best in the parallel
 /// algorithm because the grown regions are rounder.
+///
+/// `raise` unlinks from the old bucket and appends to the new one in O(1);
+/// the observable pop order is identical to the lazy-deletion
+/// [`super::legacy::LegacyBQueuePq`] (pinned by the differential model
+/// test in `tests/pq_model.rs`).
 pub struct BQueuePq {
-    buckets: Vec<VecDeque<u32>>,
+    /// `heads[b] = [head, tail]` of bucket `b`, valid iff
+    /// `head_stamp[b] == epoch`; a valid `NONE` head is an emptied bucket.
+    heads: Vec<[u32; 2]>,
+    head_stamp: Vec<u32>,
+    /// `links[v] = [next, prev]` within v's current bucket.
+    links: Vec<[u32; 2]>,
     prio: Vec<u64>,
-    in_queue: Vec<bool>,
+    /// `v` is queued iff `stamp[v] == epoch`.
+    stamp: Vec<u32>,
+    epoch: u32,
     live: usize,
     top: usize,
     max_priority: u64,
 }
 
-impl BQueuePq {
-    #[inline]
-    fn bucket_of(&self, prio: u64) -> usize {
-        debug_assert!(
-            prio <= self.max_priority,
-            "priority {prio} exceeds bucket range {}",
-            self.max_priority
-        );
-        prio as usize
-    }
-}
-
 impl MaxPq for BQueuePq {
     fn new() -> Self {
         BQueuePq {
-            buckets: Vec::new(),
+            heads: Vec::new(),
+            head_stamp: Vec::new(),
+            links: Vec::new(),
             prio: Vec::new(),
-            in_queue: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
             live: 0,
             top: 0,
             max_priority: 0,
@@ -47,16 +52,21 @@ impl MaxPq for BQueuePq {
 
     fn reset(&mut self, n: usize, max_priority: u64) {
         let nbuckets = (max_priority as usize).saturating_add(1);
-        for b in &mut self.buckets {
-            b.clear();
+        if self.epoch >= EPOCH_LIMIT {
+            self.head_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
         }
-        if self.buckets.len() < nbuckets {
-            self.buckets.resize_with(nbuckets, VecDeque::new);
+        self.epoch += 1;
+        if self.heads.len() < nbuckets {
+            self.heads.resize(nbuckets, [NONE, NONE]);
+            self.head_stamp.resize(nbuckets, 0);
         }
-        self.prio.clear();
-        self.prio.resize(n, 0);
-        self.in_queue.clear();
-        self.in_queue.resize(n, false);
+        if self.links.len() < n {
+            self.links.resize(n, [NONE, NONE]);
+            self.prio.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
         self.live = 0;
         self.top = 0;
         self.max_priority = max_priority;
@@ -64,31 +74,30 @@ impl MaxPq for BQueuePq {
 
     #[inline]
     fn push(&mut self, v: u32, prio: u64) {
-        debug_assert!(!self.in_queue[v as usize], "push of vertex already queued");
-        let b = self.bucket_of(prio);
-        self.prio[v as usize] = prio;
-        self.in_queue[v as usize] = true;
-        self.buckets[b].push_back(v);
+        debug_assert!(
+            self.stamp[v as usize] != self.epoch,
+            "push of vertex already queued"
+        );
+        self.stamp[v as usize] = self.epoch;
         self.live += 1;
-        if b > self.top {
-            self.top = b;
-        }
+        self.prio[v as usize] = prio;
+        self.link_back(v, bucket_of(prio, self.max_priority));
     }
 
     #[inline]
     fn raise(&mut self, v: u32, prio: u64) {
-        debug_assert!(self.in_queue[v as usize], "raise of vertex not in queue");
+        debug_assert!(
+            self.stamp[v as usize] == self.epoch,
+            "raise of vertex not in queue"
+        );
         let old = self.prio[v as usize];
         debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
         if prio == old {
-            return;
+            return; // before any unlink/relink work
         }
-        let b = self.bucket_of(prio);
+        self.unlink(v, old as usize);
         self.prio[v as usize] = prio;
-        self.buckets[b].push_back(v); // old entry becomes stale
-        if b > self.top {
-            self.top = b;
-        }
+        self.link_back(v, bucket_of(prio, self.max_priority));
     }
 
     fn pop_max(&mut self) -> Option<(u32, u64)> {
@@ -96,18 +105,27 @@ impl MaxPq for BQueuePq {
             return None;
         }
         loop {
-            match self.buckets[self.top].pop_front() {
-                Some(v) => {
-                    let vi = v as usize;
-                    if self.in_queue[vi] && self.prio[vi] as usize == self.top {
-                        self.in_queue[vi] = false;
-                        self.live -= 1;
-                        return Some((v, self.prio[vi]));
-                    }
-                }
-                None => {
+            let head = if self.head_stamp[self.top] == self.epoch {
+                self.heads[self.top][0]
+            } else {
+                NONE
+            };
+            match head {
+                NONE => {
                     debug_assert!(self.top > 0, "live count says non-empty");
                     self.top -= 1;
+                }
+                v => {
+                    let next = self.links[v as usize][0];
+                    self.heads[self.top][0] = next;
+                    if next != NONE {
+                        self.links[next as usize][1] = NONE;
+                    } else {
+                        self.heads[self.top][1] = NONE;
+                    }
+                    self.stamp[v as usize] = self.epoch - 1;
+                    self.live -= 1;
+                    return Some((v, self.prio[v as usize]));
                 }
             }
         }
@@ -115,7 +133,7 @@ impl MaxPq for BQueuePq {
 
     #[inline]
     fn contains(&self, v: u32) -> bool {
-        self.in_queue[v as usize]
+        self.stamp[v as usize] == self.epoch
     }
 
     #[inline]
@@ -126,6 +144,47 @@ impl MaxPq for BQueuePq {
     #[inline]
     fn len(&self) -> usize {
         self.live
+    }
+}
+
+impl BQueuePq {
+    /// Appends `v` to the back of bucket `b` (FIFO).
+    #[inline]
+    fn link_back(&mut self, v: u32, b: usize) {
+        let tail = if self.head_stamp[b] == self.epoch {
+            self.heads[b][1]
+        } else {
+            self.head_stamp[b] = self.epoch;
+            self.heads[b] = [NONE, NONE];
+            NONE
+        };
+        self.links[v as usize] = [NONE, tail];
+        if tail != NONE {
+            self.links[tail as usize][0] = v;
+        } else {
+            self.heads[b][0] = v;
+        }
+        self.heads[b][1] = v;
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    /// Removes `v` from bucket `b` in O(1) via its intrusive links.
+    #[inline]
+    fn unlink(&mut self, v: u32, b: usize) {
+        let [next, prev] = self.links[v as usize];
+        if prev != NONE {
+            self.links[prev as usize][0] = next;
+        } else {
+            debug_assert_eq!(self.heads[b][0], v);
+            self.heads[b][0] = next;
+        }
+        if next != NONE {
+            self.links[next as usize][1] = prev;
+        } else {
+            self.heads[b][1] = prev;
+        }
     }
 }
 
@@ -156,5 +215,52 @@ mod tests {
         assert_eq!(q.pop_max(), Some((1, 4)));
         assert_eq!(q.pop_max(), Some((2, 4)));
         assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn unlink_head_middle_and_tail() {
+        let mut q = BQueuePq::new();
+        q.reset(6, 10);
+        q.push(0, 2);
+        q.push(1, 2);
+        q.push(2, 2);
+        q.push(3, 2); // bucket 2: 0 1 2 3
+        q.raise(1, 5); // middle
+        q.raise(0, 5); // head
+        q.raise(3, 5); // tail
+                       // bucket 5 FIFO: 1, 0, 3; bucket 2: 2
+        assert_eq!(q.pop_max(), Some((1, 5)));
+        assert_eq!(q.pop_max(), Some((0, 5)));
+        assert_eq!(q.pop_max(), Some((3, 5)));
+        assert_eq!(q.pop_max(), Some((2, 2)));
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn epoch_reset_is_cheap_and_complete() {
+        let mut q = BQueuePq::new();
+        q.reset(8, 100);
+        q.push(0, 50);
+        q.push(1, 100);
+        q.reset(8, 40);
+        assert!(q.is_empty());
+        assert!(!q.contains(0) && !q.contains(1));
+        q.push(0, 40);
+        assert_eq!(q.pop_max(), Some((0, 40)));
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn survives_epoch_wraparound() {
+        let mut q = BQueuePq::new();
+        q.reset(4, 5);
+        q.push(0, 5);
+        q.epoch = EPOCH_LIMIT;
+        q.reset(4, 5);
+        assert!(q.is_empty());
+        q.push(0, 3);
+        q.push(1, 5);
+        assert_eq!(q.pop_max(), Some((1, 5)));
+        assert_eq!(q.pop_max(), Some((0, 3)));
     }
 }

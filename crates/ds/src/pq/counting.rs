@@ -7,53 +7,39 @@
 //! counts pushes, raises and pops so the claim can be measured directly
 //! (see the `ablation_pq_ops` binary of `mincut-bench`).
 //!
-//! Counters are accumulated in thread-local cells: algorithm entry points
-//! construct their queues internally, so the counts are harvested out of
-//! band via [`take_counters`] after the run. Each worker thread tallies
-//! its own operations; sum across threads for parallel totals.
+//! Counters are plain struct fields bumped inline — no thread-local
+//! access, no atomics — and are harvested through [`MaxPq::take_ops`],
+//! which the uninstrumented queues implement as a zero-returning no-op.
+//! When stats are off the instrumentation is therefore *zero-cost by
+//! construction*: the scan entry points are generic over `P: MaxPq`, so
+//! instantiating them with a bare queue compiles the counting away
+//! entirely instead of paying an always-on thread-local increment per
+//! operation (the previous design).
 
-use std::cell::Cell;
+use super::{MaxPq, PqCounters};
 
-use super::MaxPq;
-
-thread_local! {
-    static PUSHES: Cell<u64> = const { Cell::new(0) };
-    static RAISES: Cell<u64> = const { Cell::new(0) };
-    static POPS: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Snapshot of the operation counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PqCounters {
-    pub pushes: u64,
-    pub raises: u64,
-    pub pops: u64,
-}
-
-impl PqCounters {
-    /// Total operations.
-    pub fn total(&self) -> u64 {
-        self.pushes + self.raises + self.pops
-    }
-}
-
-/// Returns the current thread's counters and resets them to zero.
-pub fn take_counters() -> PqCounters {
-    PqCounters {
-        pushes: PUSHES.with(|c| c.replace(0)),
-        raises: RAISES.with(|c| c.replace(0)),
-        pops: POPS.with(|c| c.replace(0)),
-    }
-}
-
-/// A [`MaxPq`] that forwards to `P` while tallying operations.
+/// A [`MaxPq`] that forwards to `P` while tallying operations in plain
+/// struct fields. Harvest (and reset) the tallies with
+/// [`MaxPq::take_ops`].
 pub struct CountingPq<P> {
     inner: P,
+    counters: PqCounters,
+}
+
+impl<P> CountingPq<P> {
+    /// The tallies accumulated since construction / the last
+    /// [`MaxPq::take_ops`], without resetting them.
+    pub fn ops(&self) -> PqCounters {
+        self.counters
+    }
 }
 
 impl<P: MaxPq> MaxPq for CountingPq<P> {
     fn new() -> Self {
-        CountingPq { inner: P::new() }
+        CountingPq {
+            inner: P::new(),
+            counters: PqCounters::default(),
+        }
     }
 
     fn reset(&mut self, n: usize, max_priority: u64) {
@@ -62,7 +48,7 @@ impl<P: MaxPq> MaxPq for CountingPq<P> {
 
     #[inline]
     fn push(&mut self, v: u32, prio: u64) {
-        PUSHES.with(|c| c.set(c.get() + 1));
+        self.counters.pushes += 1;
         self.inner.push(v, prio);
     }
 
@@ -71,7 +57,7 @@ impl<P: MaxPq> MaxPq for CountingPq<P> {
         // A no-op raise (equal priority) is still an operation the
         // algorithm *attempted*; the paper's savings come from never
         // attempting it, which the λ̂ cap achieves upstream.
-        RAISES.with(|c| c.set(c.get() + 1));
+        self.counters.raises += 1;
         self.inner.raise(v, prio);
     }
 
@@ -79,7 +65,7 @@ impl<P: MaxPq> MaxPq for CountingPq<P> {
     fn pop_max(&mut self) -> Option<(u32, u64)> {
         let r = self.inner.pop_max();
         if r.is_some() {
-            POPS.with(|c| c.set(c.get() + 1));
+            self.counters.pops += 1;
         }
         r
     }
@@ -98,6 +84,11 @@ impl<P: MaxPq> MaxPq for CountingPq<P> {
     fn len(&self) -> usize {
         self.inner.len()
     }
+
+    #[inline]
+    fn take_ops(&mut self) -> PqCounters {
+        std::mem::take(&mut self.counters)
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +98,6 @@ mod tests {
 
     #[test]
     fn counts_operations() {
-        let _ = take_counters(); // clear any prior state on this thread
         let mut q: CountingPq<BinaryHeapPq> = CountingPq::new();
         q.reset(4, 100);
         q.push(0, 5);
@@ -116,17 +106,27 @@ mod tests {
         assert_eq!(q.pop_max(), Some((0, 9)));
         assert_eq!(q.pop_max(), Some((1, 7)));
         assert_eq!(q.pop_max(), None);
-        let c = take_counters();
         assert_eq!(
-            c,
+            q.ops(),
             PqCounters {
                 pushes: 2,
                 raises: 1,
                 pops: 2
             }
         );
+        let c = q.take_ops();
         assert_eq!(c.total(), 5);
         // Counters were reset by the take.
-        assert_eq!(take_counters(), PqCounters::default());
+        assert_eq!(q.ops(), PqCounters::default());
+        assert_eq!(q.take_ops(), PqCounters::default());
+    }
+
+    #[test]
+    fn bare_queues_report_zero_ops() {
+        let mut q = BinaryHeapPq::new();
+        q.reset(2, 10);
+        q.push(0, 1);
+        let _ = q.pop_max();
+        assert_eq!(q.take_ops(), PqCounters::default());
     }
 }

@@ -113,11 +113,18 @@ impl MaxPq for BinaryHeapPq {
     }
 
     fn reset(&mut self, n: usize, _max_priority: u64) {
+        // `pos[v] != ABSENT` iff v is in `heap`, so clearing only the
+        // still-queued entries restores the all-ABSENT invariant in
+        // O(len) instead of re-zeroing all n slots; `prio` is only read
+        // while present and needs no clearing at all.
+        for &v in &self.heap {
+            self.pos[v as usize] = ABSENT;
+        }
         self.heap.clear();
-        self.pos.clear();
-        self.pos.resize(n, ABSENT);
-        self.prio.clear();
-        self.prio.resize(n, 0);
+        if self.pos.len() < n {
+            self.pos.resize(n, ABSENT);
+            self.prio.resize(n, 0);
+        }
     }
 
     #[inline]

@@ -1,0 +1,253 @@
+//! The pre-intrusive bucket queues, frozen as a measurement baseline.
+//!
+//! These are the original `Vec<Vec<u32>>` / `Vec<VecDeque<u32>>` bucket
+//! queues the workspace shipped before the cache-conscious rewrite:
+//! one heap allocation *per bucket*, `reset` clears every bucket and
+//! re-zeroes the full `prio`/`in_queue` arrays (O(n + buckets) per
+//! CAPFOREST pass), and `raise` leaves a stale entry behind (lazy
+//! deletion). They are kept verbatim so the `hotpath` bench bin of
+//! `mincut-bench` can measure the rewrite against the real old code,
+//! and so the differential model tests in `tests/pq_model.rs` can pin
+//! the new queues' observable pop order to the old one. Do not use them
+//! in solvers.
+
+use std::collections::VecDeque;
+
+use super::MaxPq;
+
+/// The original Vec-of-Vecs **BStack** (LIFO buckets, lazy deletion).
+pub struct LegacyBStackPq {
+    buckets: Vec<Vec<u32>>,
+    prio: Vec<u64>,
+    in_queue: Vec<bool>,
+    live: usize,
+    top: usize,
+    max_priority: u64,
+}
+
+impl LegacyBStackPq {
+    #[inline]
+    fn bucket_of(&self, prio: u64) -> usize {
+        debug_assert!(
+            prio <= self.max_priority,
+            "priority {prio} exceeds bucket range {}",
+            self.max_priority
+        );
+        prio as usize
+    }
+}
+
+impl MaxPq for LegacyBStackPq {
+    fn new() -> Self {
+        LegacyBStackPq {
+            buckets: Vec::new(),
+            prio: Vec::new(),
+            in_queue: Vec::new(),
+            live: 0,
+            top: 0,
+            max_priority: 0,
+        }
+    }
+
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        let nbuckets = (max_priority as usize).saturating_add(1);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < nbuckets {
+            self.buckets.resize_with(nbuckets, Vec::new);
+        }
+        self.prio.clear();
+        self.prio.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.live = 0;
+        self.top = 0;
+        self.max_priority = max_priority;
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        debug_assert!(!self.in_queue[v as usize], "push of vertex already queued");
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.in_queue[v as usize] = true;
+        self.buckets[b].push(v);
+        self.live += 1;
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        debug_assert!(self.in_queue[v as usize], "raise of vertex not in queue");
+        let old = self.prio[v as usize];
+        debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
+        if prio == old {
+            return;
+        }
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.buckets[b].push(v); // old entry becomes stale
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            match self.buckets[self.top].pop() {
+                Some(v) => {
+                    let vi = v as usize;
+                    if self.in_queue[vi] && self.prio[vi] as usize == self.top {
+                        self.in_queue[vi] = false;
+                        self.live -= 1;
+                        return Some((v, self.prio[vi]));
+                    }
+                    // Stale entry (raised since insertion, or already popped).
+                }
+                None => {
+                    debug_assert!(self.top > 0, "live count says non-empty");
+                    self.top -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.in_queue[v as usize]
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.prio[v as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// The original deque-backed **BQueue** (FIFO buckets, lazy deletion).
+pub struct LegacyBQueuePq {
+    buckets: Vec<VecDeque<u32>>,
+    prio: Vec<u64>,
+    in_queue: Vec<bool>,
+    live: usize,
+    top: usize,
+    max_priority: u64,
+}
+
+impl LegacyBQueuePq {
+    #[inline]
+    fn bucket_of(&self, prio: u64) -> usize {
+        debug_assert!(
+            prio <= self.max_priority,
+            "priority {prio} exceeds bucket range {}",
+            self.max_priority
+        );
+        prio as usize
+    }
+}
+
+impl MaxPq for LegacyBQueuePq {
+    fn new() -> Self {
+        LegacyBQueuePq {
+            buckets: Vec::new(),
+            prio: Vec::new(),
+            in_queue: Vec::new(),
+            live: 0,
+            top: 0,
+            max_priority: 0,
+        }
+    }
+
+    fn reset(&mut self, n: usize, max_priority: u64) {
+        let nbuckets = (max_priority as usize).saturating_add(1);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < nbuckets {
+            self.buckets.resize_with(nbuckets, VecDeque::new);
+        }
+        self.prio.clear();
+        self.prio.resize(n, 0);
+        self.in_queue.clear();
+        self.in_queue.resize(n, false);
+        self.live = 0;
+        self.top = 0;
+        self.max_priority = max_priority;
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32, prio: u64) {
+        debug_assert!(!self.in_queue[v as usize], "push of vertex already queued");
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.in_queue[v as usize] = true;
+        self.buckets[b].push_back(v);
+        self.live += 1;
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    #[inline]
+    fn raise(&mut self, v: u32, prio: u64) {
+        debug_assert!(self.in_queue[v as usize], "raise of vertex not in queue");
+        let old = self.prio[v as usize];
+        debug_assert!(prio >= old, "raise must be monotone ({prio} < {old})");
+        if prio == old {
+            return;
+        }
+        let b = self.bucket_of(prio);
+        self.prio[v as usize] = prio;
+        self.buckets[b].push_back(v); // old entry becomes stale
+        if b > self.top {
+            self.top = b;
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<(u32, u64)> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            match self.buckets[self.top].pop_front() {
+                Some(v) => {
+                    let vi = v as usize;
+                    if self.in_queue[vi] && self.prio[vi] as usize == self.top {
+                        self.in_queue[vi] = false;
+                        self.live -= 1;
+                        return Some((v, self.prio[vi]));
+                    }
+                }
+                None => {
+                    debug_assert!(self.top > 0, "live count says non-empty");
+                    self.top -= 1;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, v: u32) -> bool {
+        self.in_queue[v as usize]
+    }
+
+    #[inline]
+    fn priority(&self, v: u32) -> u64 {
+        self.prio[v as usize]
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+}

@@ -8,29 +8,95 @@
 //! constant factors dominate the running time. Three implementations are
 //! therefore provided:
 //!
-//! * [`BStackPq`] — bucket array, LIFO within a bucket (`std::vec::Vec`
-//!   backed). The scan immediately revisits the vertex whose priority was
-//!   just raised, behaving depth-first-like.
-//! * [`BQueuePq`] — bucket array, FIFO within a bucket (`std::collections::VecDeque`
-//!   backed). The scan explores older discoveries first, behaving
-//!   breadth-first-like; the paper finds this is the best parallel variant.
+//! * [`BStackPq`] — bucket array, LIFO within a bucket. The scan immediately
+//!   revisits the vertex whose priority was just raised, behaving
+//!   depth-first-like.
+//! * [`BQueuePq`] — bucket array, FIFO within a bucket. The scan explores
+//!   older discoveries first, behaving breadth-first-like; the paper finds
+//!   this is the best parallel variant.
 //! * [`BinaryHeapPq`] — addressable binary heap with Wegener's bottom-up
 //!   deletion heuristic; a neutral middle ground and the only option when
 //!   priorities are unbounded (plain NOI without the λ̂ cap).
 //!
+//! # Flat intrusive layout
+//!
+//! Because the queue constants dominate the scan, the two bucket queues are
+//! built for cache behaviour rather than convenience:
+//!
+//! * **No per-bucket containers.** A bucket is a doubly-linked list whose
+//!   links live *intrusively* in one flat per-vertex `[next, prev]` array;
+//!   the bucket array itself is just head (and, for FIFO, tail) indices.
+//!   One allocation for all links, one for all bucket heads — no
+//!   `Vec<Vec<_>>` pointer-chasing, no per-bucket reallocation churn.
+//! * **O(1) raise.** A priority raise unlinks the vertex from its old
+//!   bucket and relinks it into the new one; buckets contain only live
+//!   entries and `pop_max` never skips stale slots. (The pre-rewrite
+//!   lazy-deletion queues are preserved in [`legacy`] as the measurement
+//!   baseline of the `hotpath` bench; the observable pop order is
+//!   identical, which `tests/pq_model.rs` pins differentially.)
+//! * **Epoch-stamped `reset`.** Vertex membership, priorities and bucket
+//!   heads are validated against an epoch counter, so [`MaxPq::reset`]
+//!   only bumps the epoch and grows arrays to a new high-water mark:
+//!   reuse across CAPFOREST passes is O(changed), not O(n + buckets)
+//!   re-zeroing. [`BinaryHeapPq::reset`] likewise clears only the
+//!   positions of entries still queued.
+//!
 //! Priorities in CAPFOREST only ever *increase* (they accumulate edge
-//! weights), which the queues exploit: the bucket queues use lazy deletion
-//! and never need a decrease-key.
+//! weights), which every queue enforces with a uniform monotonicity debug
+//! assertion, and an equal-priority `raise` returns before touching any
+//! bucket or heap state.
 
 mod bqueue;
 mod bstack;
 mod counting;
 mod heap;
+pub mod legacy;
 
 pub use bqueue::BQueuePq;
 pub use bstack::BStackPq;
-pub use counting::{take_counters, CountingPq, PqCounters};
+pub use counting::CountingPq;
 pub use heap::BinaryHeapPq;
+pub use legacy::{LegacyBQueuePq, LegacyBStackPq};
+
+/// Sentinel index for "no vertex" in the intrusive link arrays.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Epochs at or above this trigger a full stamp wipe on the next `reset`
+/// instead of a plain increment, so stamps can never collide across an
+/// epoch-counter wrap.
+pub(crate) const EPOCH_LIMIT: u32 = u32::MAX - 1;
+
+/// Bucket index of a priority, shared by both bucket queues.
+#[inline]
+pub(crate) fn bucket_of(prio: u64, max_priority: u64) -> usize {
+    debug_assert!(
+        prio <= max_priority,
+        "priority {prio} exceeds bucket range {max_priority}"
+    );
+    prio as usize
+}
+
+/// Snapshot of the operation counters of a [`CountingPq`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PqCounters {
+    pub pushes: u64,
+    pub raises: u64,
+    pub pops: u64,
+}
+
+impl PqCounters {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.pushes + self.raises + self.pops
+    }
+
+    /// Accumulates another snapshot (e.g. across parallel workers).
+    pub fn add(&mut self, other: PqCounters) {
+        self.pushes += other.pushes;
+        self.raises += other.raises;
+        self.pops += other.pops;
+    }
+}
 
 /// Addressable max-priority queue over vertices `0..n` with `u64` priorities.
 ///
@@ -43,8 +109,10 @@ pub trait MaxPq {
     fn new() -> Self;
 
     /// Prepares the queue for vertices `0..n` with priorities in
-    /// `[0, max_priority]`. Reuses allocations where possible. Bucket-based
-    /// queues allocate `max_priority + 1` buckets; heap-based queues ignore
+    /// `[0, max_priority]`. Reuses allocations where possible: the
+    /// intrusive bucket queues and the heap make this O(changed) via
+    /// epoch stamps / live-entry clears. Bucket-based queues address
+    /// `max_priority + 1` buckets; heap-based queues ignore
     /// `max_priority`.
     fn reset(&mut self, n: usize, max_priority: u64);
 
@@ -82,6 +150,14 @@ pub trait MaxPq {
             self.push(v, prio);
         }
     }
+
+    /// Returns and resets the accumulated operation tallies. Only
+    /// [`CountingPq`] actually counts; the bare queues return zeros, so
+    /// generic scan drivers can harvest unconditionally at zero cost.
+    #[inline]
+    fn take_ops(&mut self) -> PqCounters {
+        PqCounters::default()
+    }
 }
 
 /// Runtime selector for the three queue implementations, mirroring the
@@ -89,9 +165,9 @@ pub trait MaxPq {
 /// NOIλ̂-Heap and the ParCut equivalents).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PqKind {
-    /// Bucket queue, LIFO buckets (`std::vec::Vec`).
+    /// Bucket queue, LIFO buckets.
     BStack,
-    /// Bucket queue, FIFO buckets (`std::collections::VecDeque`).
+    /// Bucket queue, FIFO buckets.
     BQueue,
     /// Addressable bottom-up binary heap.
     Heap,
@@ -189,33 +265,36 @@ mod tests {
         assert_eq!(q.pop_max(), Some((1, 1)));
     }
 
+    fn exercise_all<P: MaxPq>() {
+        exercise_basic::<P>();
+        exercise_raise_to_same::<P>();
+        exercise_reset_reuse::<P>();
+        exercise_many_raises::<P>();
+    }
+
     #[test]
     fn bstack_basic() {
-        exercise_basic::<BStackPq>();
-        exercise_raise_to_same::<BStackPq>();
-        exercise_reset_reuse::<BStackPq>();
-        exercise_many_raises::<BStackPq>();
+        exercise_all::<BStackPq>();
     }
 
     #[test]
     fn bqueue_basic() {
-        exercise_basic::<BQueuePq>();
-        exercise_raise_to_same::<BQueuePq>();
-        exercise_reset_reuse::<BQueuePq>();
-        exercise_many_raises::<BQueuePq>();
+        exercise_all::<BQueuePq>();
     }
 
     #[test]
     fn heap_basic() {
-        exercise_basic::<BinaryHeapPq>();
-        exercise_raise_to_same::<BinaryHeapPq>();
-        exercise_reset_reuse::<BinaryHeapPq>();
-        exercise_many_raises::<BinaryHeapPq>();
+        exercise_all::<BinaryHeapPq>();
     }
 
     #[test]
-    fn bstack_is_lifo_within_bucket() {
-        let mut q = BStackPq::new();
+    fn legacy_queues_basic() {
+        exercise_all::<LegacyBStackPq>();
+        exercise_all::<LegacyBQueuePq>();
+    }
+
+    fn exercise_lifo_within_bucket<P: MaxPq>() {
+        let mut q = P::new();
         q.reset(4, 5);
         q.push(0, 5);
         q.push(1, 5);
@@ -227,8 +306,13 @@ mod tests {
     }
 
     #[test]
-    fn bqueue_is_fifo_within_bucket() {
-        let mut q = BQueuePq::new();
+    fn bstack_is_lifo_within_bucket() {
+        exercise_lifo_within_bucket::<BStackPq>();
+        exercise_lifo_within_bucket::<LegacyBStackPq>();
+    }
+
+    fn exercise_fifo_within_bucket<P: MaxPq>() {
+        let mut q = P::new();
         q.reset(4, 5);
         q.push(0, 5);
         q.push(1, 5);
@@ -237,6 +321,12 @@ mod tests {
         assert_eq!(q.pop_max(), Some((0, 5)));
         assert_eq!(q.pop_max(), Some((1, 5)));
         assert_eq!(q.pop_max(), Some((2, 5)));
+    }
+
+    #[test]
+    fn bqueue_is_fifo_within_bucket() {
+        exercise_fifo_within_bucket::<BQueuePq>();
+        exercise_fifo_within_bucket::<LegacyBQueuePq>();
     }
 
     #[test]

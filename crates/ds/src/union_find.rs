@@ -29,6 +29,17 @@ impl UnionFind {
         }
     }
 
+    /// Re-initialises to `n` singleton sets, reusing the existing
+    /// allocations (the CAPFOREST scan scratch resets one instance per
+    /// pass instead of allocating a fresh structure).
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.count = n;
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()
@@ -102,20 +113,33 @@ impl UnionFind {
     /// Returns `(mapping, number_of_blocks)`. Block ids are assigned in order
     /// of first appearance, so vertex 0's block is always 0.
     pub fn dense_labels(&mut self) -> (Vec<u32>, usize) {
+        let mut labels = Vec::new();
+        let blocks = self.dense_labels_into(&mut labels);
+        (labels, blocks)
+    }
+
+    /// [`UnionFind::dense_labels`] into a caller-owned buffer (cleared,
+    /// refilled, no other allocation), so round loops reuse one buffer
+    /// across contractions; returns the number of distinct blocks.
+    ///
+    /// The buffer doubles as the root → label table: a root's output slot
+    /// *is* its block label, so it can be assigned the moment any member
+    /// appears — no second scratch array needed.
+    pub fn dense_labels_into(&mut self, labels: &mut Vec<u32>) -> usize {
         let n = self.parent.len();
         const UNSET: u32 = u32::MAX;
-        let mut root_label = vec![UNSET; n];
-        let mut labels = vec![0u32; n];
+        labels.clear();
+        labels.resize(n, UNSET);
         let mut next = 0u32;
         for v in 0..n as u32 {
             let r = self.find(v);
-            if root_label[r as usize] == UNSET {
-                root_label[r as usize] = next;
+            if labels[r as usize] == UNSET {
+                labels[r as usize] = next;
                 next += 1;
             }
-            labels[v as usize] = root_label[r as usize];
+            labels[v as usize] = labels[r as usize];
         }
-        (labels, next as usize)
+        next as usize
     }
 }
 

@@ -2,8 +2,13 @@
 //! reference model on the *multiset* of (vertex, priority) pops and must pop
 //! priorities in non-increasing order... within the λ̂-cap semantics, pops
 //! are only guaranteed max-priority among live entries, which the model
-//! checks exactly.
+//! checks exactly. Sequences include epoch resets (reuse is the intrusive
+//! queues' whole point), and the new intrusive bucket queues are
+//! additionally pinned *pop-for-pop* against the frozen lazy-deletion
+//! legacy queues — same ops in, byte-identical pop sequence out — so the
+//! rewrite provably changed the memory layout and nothing else.
 
+use mincut_ds::pq::legacy::{LegacyBQueuePq, LegacyBStackPq};
 use mincut_ds::{BQueuePq, BStackPq, BinaryHeapPq, MaxPq};
 use proptest::prelude::*;
 
@@ -13,12 +18,16 @@ enum Op {
     Bump { v: u8, delta: u16 },
     /// Pop the maximum.
     Pop,
+    /// Reset the queue (reuse across CAPFOREST passes): everything
+    /// queued vanishes, the priority range may change.
+    Reset { cap: u16 },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => (any::<u8>(), 1u16..500).prop_map(|(v, delta)| Op::Bump { v, delta }),
-        1 => Just(Op::Pop),
+        12 => (any::<u8>(), 1u16..500).prop_map(|(v, delta)| Op::Bump { v, delta }),
+        4 => Just(Op::Pop),
+        1 => (1u16..5000).prop_map(|cap| Op::Reset { cap: cap.max(1) }),
     ]
 }
 
@@ -46,8 +55,9 @@ impl Model {
     }
 }
 
-fn run_against_model<P: MaxPq>(ops: &[Op], cap: u64) {
+fn run_against_model<P: MaxPq>(ops: &[Op], initial_cap: u64) {
     const N: usize = 256;
+    let mut cap = initial_cap;
     let mut q = P::new();
     q.reset(N, cap);
     let mut model = Model::new(N);
@@ -84,6 +94,11 @@ fn run_against_model<P: MaxPq>(ops: &[Op], cap: u64) {
                     }
                 }
             }
+            Op::Reset { cap: new_cap } => {
+                cap = new_cap as u64;
+                q.reset(N, cap);
+                model = Model::new(N);
+            }
         }
         // Invariants that hold continuously.
         let live = model.state.iter().filter(|&&s| s == 1).count();
@@ -99,6 +114,68 @@ fn run_against_model<P: MaxPq>(ops: &[Op], cap: u64) {
         model.state[v as usize] = 2;
     }
     assert!(model.state.iter().all(|&s| s != 1));
+}
+
+/// Replays one op sequence on two implementations; every observable —
+/// pop results, lengths, membership — must be byte-identical. Pops are
+/// driven on both sides unconditionally, so tie-breaking (LIFO/FIFO
+/// within a bucket) is pinned, not just the multiset.
+fn run_differential<A: MaxPq, B: MaxPq>(ops: &[Op], initial_cap: u64) {
+    const N: usize = 256;
+    let mut cap = initial_cap;
+    let mut a = A::new();
+    let mut b = B::new();
+    a.reset(N, cap);
+    b.reset(N, cap);
+    // Track prio/state like the model so bumps stay monotone and within
+    // the cap.
+    let mut model = Model::new(N);
+    for op in ops {
+        match *op {
+            Op::Bump { v, delta } => {
+                let vi = v as usize;
+                match model.state[vi] {
+                    0 => {
+                        let p = (delta as u64).min(cap);
+                        model.prio[vi] = p;
+                        model.state[vi] = 1;
+                        a.push(v as u32, p);
+                        b.push(v as u32, p);
+                    }
+                    1 => {
+                        let p = (model.prio[vi] + delta as u64).min(cap);
+                        model.prio[vi] = p;
+                        a.raise(v as u32, p);
+                        b.raise(v as u32, p);
+                    }
+                    _ => {}
+                }
+            }
+            Op::Pop => {
+                let pa = a.pop_max();
+                let pb = b.pop_max();
+                assert_eq!(pa, pb, "pop order diverged");
+                if let Some((v, _)) = pa {
+                    model.state[v as usize] = 2;
+                }
+            }
+            Op::Reset { cap: new_cap } => {
+                cap = new_cap as u64;
+                a.reset(N, cap);
+                b.reset(N, cap);
+                model = Model::new(N);
+            }
+        }
+        assert_eq!(a.len(), b.len());
+    }
+    loop {
+        let pa = a.pop_max();
+        let pb = b.pop_max();
+        assert_eq!(pa, pb, "drain order diverged");
+        if pa.is_none() {
+            break;
+        }
+    }
 }
 
 proptest! {
@@ -122,5 +199,25 @@ proptest! {
     #[test]
     fn heap_matches_model_uncapped(ops in prop::collection::vec(op_strategy(), 1..400)) {
         run_against_model::<BinaryHeapPq>(&ops, u64::MAX);
+    }
+
+    #[test]
+    fn legacy_bstack_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), cap in 1u64..5000) {
+        run_against_model::<LegacyBStackPq>(&ops, cap);
+    }
+
+    #[test]
+    fn legacy_bqueue_matches_model(ops in prop::collection::vec(op_strategy(), 1..400), cap in 1u64..5000) {
+        run_against_model::<LegacyBQueuePq>(&ops, cap);
+    }
+
+    #[test]
+    fn intrusive_bstack_pops_identically_to_legacy(ops in prop::collection::vec(op_strategy(), 1..500), cap in 1u64..5000) {
+        run_differential::<BStackPq, LegacyBStackPq>(&ops, cap);
+    }
+
+    #[test]
+    fn intrusive_bqueue_pops_identically_to_legacy(ops in prop::collection::vec(op_strategy(), 1..500), cap in 1u64..5000) {
+        run_differential::<BQueuePq, LegacyBQueuePq>(&ops, cap);
     }
 }

@@ -1,6 +1,35 @@
 //! Compressed-sparse-row graph representation and its builder.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
 use crate::{EdgeWeight, NodeId};
+
+/// Below this many (deduplicated) edges the CSR rebuild stays fully
+/// sequential: the atomic counting/scatter machinery only pays off once
+/// the arc arrays dwarf the per-chunk scheduling cost.
+const PAR_REBUILD_MIN_EDGES: usize = 1 << 16;
+
+/// Edge-chunk granularity of the parallel rebuild.
+const PAR_REBUILD_CHUNK: usize = 1 << 13;
+
+/// Views an exclusively borrowed `usize` buffer as atomics for the
+/// chunk-parallel degree count / cursor scatter of the CSR rebuild.
+#[inline]
+fn atomic_view(buf: &mut [usize]) -> &[AtomicUsize] {
+    // SAFETY: AtomicUsize has the same size and alignment as usize, and
+    // the exclusive borrow guarantees no non-atomic access for the
+    // lifetime of the view.
+    unsafe { &*(buf as *const [usize] as *const [AtomicUsize]) }
+}
+
+/// Raw pointer wrapper asserting that concurrent writers touch disjoint
+/// indices (guaranteed by the fetch_add cursor claims in the rebuild).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// An immutable simple undirected graph with positive integer edge weights,
 /// stored in compressed-sparse-row form (every undirected edge appears as
@@ -270,13 +299,27 @@ impl CsrGraph {
         edges: &[(NodeId, NodeId, EdgeWeight)],
         sort_scratch: &mut Vec<(NodeId, EdgeWeight)>,
     ) {
-        // Count arc degrees into xadj (prefix-summed below).
+        // Count arc degrees into xadj (prefix-summed below). Large edge
+        // lists take the chunk-parallel counting/scatter path; the final
+        // graph is identical either way (per-list sort normalises).
+        let parallel = edges.len() >= PAR_REBUILD_MIN_EDGES;
         self.xadj.clear();
         self.xadj.resize(n + 1, 0);
-        for &(u, v, _) in edges {
-            debug_assert!(u < v, "edges must be normalised u < v");
-            self.xadj[u as usize + 1] += 1;
-            self.xadj[v as usize + 1] += 1;
+        if parallel {
+            let xadj = atomic_view(&mut self.xadj);
+            edges.par_chunks(PAR_REBUILD_CHUNK).for_each(|chunk| {
+                for &(u, v, _) in chunk {
+                    debug_assert!(u < v, "edges must be normalised u < v");
+                    xadj[u as usize + 1].fetch_add(1, Ordering::Relaxed);
+                    xadj[v as usize + 1].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        } else {
+            for &(u, v, _) in edges {
+                debug_assert!(u < v, "edges must be normalised u < v");
+                self.xadj[u as usize + 1] += 1;
+                self.xadj[v as usize + 1] += 1;
+            }
         }
         for i in 0..n {
             self.xadj[i + 1] += self.xadj[i];
@@ -289,16 +332,42 @@ impl CsrGraph {
         // Fill using xadj[0..n] itself as the write cursor (each slot walks
         // from the start of its zone to the end), then shift the array right
         // one slot to restore the canonical offsets — avoids the cursor
-        // clone the previous implementation allocated every round.
-        for &(u, v, w) in edges {
-            let cu = self.xadj[u as usize];
-            self.adj[cu] = v;
-            self.weight[cu] = w;
-            self.xadj[u as usize] += 1;
-            let cv = self.xadj[v as usize];
-            self.adj[cv] = u;
-            self.weight[cv] = w;
-            self.xadj[v as usize] += 1;
+        // clone the previous implementation allocated every round. The
+        // parallel path claims cursor slots with fetch_add: every arc gets
+        // a distinct index, so the raw writes below never alias.
+        if parallel {
+            let xadj = atomic_view(&mut self.xadj);
+            let adj = SendPtr(self.adj.as_mut_ptr());
+            let weight = SendPtr(self.weight.as_mut_ptr());
+            edges.par_chunks(PAR_REBUILD_CHUNK).for_each(|chunk| {
+                // Capture the wrappers whole (not their raw-pointer
+                // fields) so the Send/Sync assertions apply.
+                let (adj, weight) = (adj, weight);
+                for &(u, v, w) in chunk {
+                    let cu = xadj[u as usize].fetch_add(1, Ordering::Relaxed);
+                    let cv = xadj[v as usize].fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: cu/cv are unique claims < num_arcs; adj and
+                    // weight are exactly num_arcs long and borrowed
+                    // mutably for the whole call.
+                    unsafe {
+                        *adj.0.add(cu) = v;
+                        *weight.0.add(cu) = w;
+                        *adj.0.add(cv) = u;
+                        *weight.0.add(cv) = w;
+                    }
+                }
+            });
+        } else {
+            for &(u, v, w) in edges {
+                let cu = self.xadj[u as usize];
+                self.adj[cu] = v;
+                self.weight[cu] = w;
+                self.xadj[u as usize] += 1;
+                let cv = self.xadj[v as usize];
+                self.adj[cv] = u;
+                self.weight[cv] = w;
+                self.xadj[v as usize] += 1;
+            }
         }
         for i in (1..=n).rev() {
             self.xadj[i] = self.xadj[i - 1];
@@ -307,7 +376,11 @@ impl CsrGraph {
         // u-side insertions (targets v, ascending per u) interleave with
         // v-side insertions (targets u, ascending across the scan), so each
         // list is a merge of two ascending runs — but the runs interleave in
-        // scan order, which is not globally sorted per list. Sort each list.
+        // scan order, which is not globally sorted per list (and the
+        // parallel scatter interleaves arbitrarily). Sort each list;
+        // neighbour ids are unique per list, so the result — and therefore
+        // the whole rebuilt graph — is deterministic regardless of the
+        // scatter schedule.
         self.sort_adjacency_lists(sort_scratch);
         self.rebuild_weighted_degrees();
     }

@@ -39,7 +39,7 @@ pub mod kcore;
 pub mod partition;
 pub mod stats;
 
-pub use contract::ContractionEngine;
+pub use contract::{ContractionEngine, ContractionPath};
 pub use csr::{CsrGraph, GraphBuilder};
 pub use delta::DeltaGraph;
 pub use partition::Membership;

@@ -70,6 +70,35 @@ proptest! {
         prop_assert_eq!(c.n(), blocks);
     }
 
+    /// All four accumulation paths — hash, radix-sort, flat-matrix and
+    /// sharded-parallel — must produce fingerprint-identical `CsrGraph`s
+    /// on random multigraphs, warm buffers included: the density
+    /// heuristic may switch paths between rounds, so any divergence
+    /// would break bit-determinism of every solver.
+    #[test]
+    fn sort_matrix_and_hash_paths_are_fingerprint_identical((g, labels, blocks) in graph_and_labels()) {
+        let mut engine = ContractionEngine::new();
+        let h = engine.contract_sequential(&g, &labels, blocks);
+        let s = engine.contract_sorted(&g, &labels, blocks);
+        prop_assert_eq!(h.fingerprint(), s.fingerprint());
+        prop_assert_eq!(&h, &s);
+        let m = engine.contract_matrix(&g, &labels, blocks);
+        prop_assert_eq!(h.fingerprint(), m.fingerprint());
+        prop_assert_eq!(&h, &m);
+        let p = engine.contract_parallel(&g, &labels, blocks);
+        prop_assert_eq!(h.fingerprint(), p.fingerprint());
+        // A second sorted round over the contracted graph reuses the warm
+        // radix scratch; it must still match a fresh hash contraction.
+        if blocks >= 2 {
+            let labels2: Vec<NodeId> = (0..blocks as NodeId).map(|v| v % 2).collect();
+            let s2 = engine.contract_sorted(&h, &labels2, 2);
+            let m2 = engine.contract_matrix(&h, &labels2, 2);
+            let h2 = contract(&h, &labels2, 2);
+            prop_assert_eq!(h2.fingerprint(), s2.fingerprint());
+            prop_assert_eq!(h2.fingerprint(), m2.fingerprint());
+        }
+    }
+
     /// The engine's reused-scratch output is bit-identical to the old
     /// free functions, including across recycled rounds.
     #[test]
