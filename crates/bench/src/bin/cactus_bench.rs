@@ -1,0 +1,230 @@
+//! Cactus subsystem cost model: from-scratch construction vs. dynamic
+//! maintenance.
+//!
+//! Two measurements per instance family, sizes following `SMC_SCALE`:
+//!
+//! * **build** — wall time of `CactusBuilder::build` (λ solve +
+//!   all-min-cuts enumeration + structure assembly), with the phase
+//!   split reported from `CactusStats` and the min-cut count checked
+//!   against the structural `count_min_cuts()`.
+//! * **maintain vs rebuild** — a deterministic mixed insert/delete trace
+//!   replayed through (a) a cactus-enabled `DynamicMinCut` and (b) a
+//!   baseline that rebuilds the cactus from scratch on the materialised
+//!   graph after every update. The two must agree on λ *and* on the
+//!   min-cut count after every operation — that differential check makes
+//!   this bin the CI smoke test of the cactus subsystem
+//!   (`SMC_SCALE=tiny`), mirroring `dynamic_throughput`.
+//!
+//! Writes `results/BENCH_cactus.json` (build and maintenance rows share
+//! the report; `solver` distinguishes them).
+
+use std::time::Instant;
+
+use mincut_bench::instances::Scale;
+use mincut_bench::report::{BenchEntry, BenchReport};
+use mincut_bench::table::Table;
+use mincut_core::cactus::CactusBuilder;
+use mincut_core::dynamic::{materialize, DynamicMinCut, TraceOp};
+use mincut_core::SolveOptions;
+use mincut_graph::generators::known;
+use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Case {
+    name: String,
+    graph: CsrGraph,
+}
+
+fn cases(scale: Scale) -> Vec<Case> {
+    let unit = match scale {
+        Scale::Tiny => 1usize,
+        Scale::Small => 2,
+        Scale::Full => 4,
+    };
+    let mut out = Vec::new();
+    // Cycles are the enumeration stress case: n(n−1)/2 minimum cuts.
+    let (g, _) = known::cycle_graph(16 * unit, 1);
+    out.push(Case {
+        name: format!("cycle_{}", g.n()),
+        graph: g,
+    });
+    let (g, _) = known::two_communities(10 * unit, 12 * unit, 2, 3, 1);
+    out.push(Case {
+        name: format!("two_communities_{}", g.n()),
+        graph: g,
+    });
+    let (g, _) = known::ring_of_cliques(4 + unit, 4 * unit, 2, 1);
+    out.push(Case {
+        name: format!("ring_of_cliques_{}", g.n()),
+        graph: g,
+    });
+    out
+}
+
+/// Deterministic mixed trace over the full vertex range; weights stay
+/// small so updates keep crossing the maintained structure.
+fn make_trace(g: &CsrGraph, updates: usize, seed: u64) -> Vec<TraceOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut shadow = DeltaGraph::new(g.clone());
+    let n = g.n() as NodeId;
+    let mut ops = Vec::with_capacity(updates);
+    while ops.len() < updates {
+        if shadow.m() == 0 || rng.gen_bool(0.65) {
+            let (mut u, mut v) = (0, 0);
+            while u == v {
+                u = rng.gen_range(0..n);
+                v = rng.gen_range(0..n);
+            }
+            let w: EdgeWeight = rng.gen_range(1..4);
+            shadow.insert_edge(u, v, w);
+            ops.push(TraceOp::Insert { u, v, w });
+        } else {
+            let live: Vec<_> = shadow.edges().collect();
+            let (u, v, _) = live[rng.gen_range(0..live.len())];
+            shadow.delete_edge(u, v).expect("live edge");
+            ops.push(TraceOp::Delete { u, v });
+        }
+    }
+    ops
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let updates = match scale {
+        Scale::Tiny => 24usize,
+        Scale::Small => 96,
+        Scale::Full => 384,
+    };
+    println!("== Cactus build + maintenance cost (scale {scale:?}, {updates} updates) ==\n");
+
+    let mut report = BenchReport::new("cactus", scale);
+    let mut table = Table::new(&[
+        "instance",
+        "lambda",
+        "cuts",
+        "build_s",
+        "maint_s",
+        "rebuild_s",
+        "rebuild/maint",
+    ]);
+
+    for case in cases(scale) {
+        let opts = SolveOptions::new().seed(5).threads(2);
+
+        // From-scratch construction, phase split from CactusStats.
+        let t0 = Instant::now();
+        let cactus = CactusBuilder::new()
+            .options(opts.clone())
+            .build(&case.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let build_s = t0.elapsed().as_secs_f64();
+        // All instance families are connected, so the structural count
+        // must equal the number of cuts the builder enumerated.
+        assert_eq!(
+            cactus.count_min_cuts(),
+            u128::from(cactus.stats().cuts),
+            "{}: structural count must match the enumeration",
+            case.name
+        );
+        let mut e = BenchEntry::named(
+            &case.name,
+            "cactus-build",
+            opts.threads,
+            case.graph.n(),
+            case.graph.m(),
+        );
+        e.lambda = cactus.lambda();
+        e.wall_s = build_s;
+        // Reuse the PQ-op columns for the phase split: pushes = solve,
+        // raises = enumerate, pops = assemble (all in microseconds).
+        e.pq_pushes = (cactus.stats().solve_seconds * 1e6) as u64;
+        e.pq_raises = (cactus.stats().enumerate_seconds * 1e6) as u64;
+        e.pq_pops = (cactus.stats().build_seconds * 1e6) as u64;
+        report.push(e);
+
+        // Maintained path: one cactus-enabled maintainer over the trace.
+        let trace = make_trace(&case.graph, updates, 0xCAC);
+        let t0 = Instant::now();
+        let mut dm = DynamicMinCut::new(case.graph.clone(), "parcut", opts.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        dm.enable_cactus()
+            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+        let mut maintained = Vec::with_capacity(trace.len());
+        for op in &trace {
+            let lambda = dm.apply(op).expect("valid trace").lambda;
+            let cactus = dm.cactus().expect("maintenance enabled");
+            maintained.push((lambda, cactus.count_min_cuts()));
+        }
+        let maint_s = t0.elapsed().as_secs_f64();
+        let rebuilds = dm.stats().cactus_rebuilds;
+
+        // Baseline: from-scratch cactus on the materialised graph per op.
+        let t0 = Instant::now();
+        let mut shadow = DeltaGraph::new(case.graph.clone());
+        let mut rebuilt = Vec::with_capacity(trace.len());
+        for op in &trace {
+            match *op {
+                TraceOp::Insert { u, v, w } => shadow.insert_edge(u, v, w),
+                TraceOp::Delete { u, v } => {
+                    shadow.delete_edge(u, v).expect("valid trace");
+                }
+                TraceOp::Query | TraceOp::QueryCount | TraceOp::QuerySeparating { .. } => {}
+            }
+            let g = materialize(&shadow);
+            let cactus = CactusBuilder::new()
+                .options(opts.clone())
+                .build(&g)
+                .unwrap_or_else(|e| panic!("{}: baseline: {e}", case.name));
+            rebuilt.push((cactus.lambda(), cactus.count_min_cuts()));
+        }
+        let rebuild_s = t0.elapsed().as_secs_f64();
+
+        assert_eq!(
+            maintained, rebuilt,
+            "{}: maintained (λ, #cuts) diverged from from-scratch rebuilds",
+            case.name
+        );
+
+        let mut e = BenchEntry::named(
+            &case.name,
+            "cactus-maintain",
+            opts.threads,
+            case.graph.n(),
+            case.graph.m(),
+        );
+        e.lambda = maintained.last().expect("non-empty trace").0;
+        e.wall_s = maint_s;
+        e.reps = trace.len();
+        e.rounds = rebuilds;
+        report.push(e);
+        let mut e = BenchEntry::named(
+            &case.name,
+            "cactus-rebuild",
+            opts.threads,
+            case.graph.n(),
+            case.graph.m(),
+        );
+        e.lambda = rebuilt.last().expect("non-empty trace").0;
+        e.wall_s = rebuild_s;
+        e.reps = trace.len();
+        report.push(e);
+
+        table.row(vec![
+            case.name.clone(),
+            cactus.lambda().to_string(),
+            cactus.count_min_cuts().to_string(),
+            format!("{build_s:.5}"),
+            format!("{maint_s:.5}"),
+            format!("{rebuild_s:.5}"),
+            format!("{:.2}", rebuild_s / maint_s.max(1e-9)),
+        ]);
+    }
+
+    table.emit("cactus");
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write baseline: {e}"),
+    }
+    println!("maintained (λ, #cuts) identical to a from-scratch rebuild after every update ✓");
+}

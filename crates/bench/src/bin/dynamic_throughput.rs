@@ -132,7 +132,8 @@ fn main() {
                     TraceOp::Delete { u, v } => {
                         shadow.delete_edge(u, v).expect("valid trace");
                     }
-                    TraceOp::Query => {}
+                    // Queries (plain or cactus) leave the graph alone.
+                    TraceOp::Query | TraceOp::QueryCount | TraceOp::QuerySeparating { .. } => {}
                 }
                 let g = materialize(&shadow);
                 let out = Session::new(&g)

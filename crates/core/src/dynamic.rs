@@ -37,8 +37,21 @@
 //!
 //! [`parse_trace`] reads the `mincut --stream` edge-trace format: one
 //! operation per line, `i u v w` (insert), `d u v` (delete), `q`
-//! (query), with `#`/`%` comments. Malformed lines are
+//! (query), `qc` (count all minimum cuts), `qs u v` (a minimum cut
+//! separating `u` from `v`), with `#`/`%` comments. Malformed lines are
 //! [`MinCutError::TraceParse`] values carrying the line number.
+//!
+//! ## Cactus maintenance
+//!
+//! With [`DynamicMinCut::enable_cactus`] the maintainer also keeps the
+//! [`Cactus`] of **all** minimum cuts current. Updates that provably
+//! leave the family untouched are absorbed in O(1) — an insert whose
+//! endpoints share a cactus node is crossed by *no* minimum cut, so no
+//! cut value changes and (inserts only ever raise values) no new
+//! minimum appears. Everything else — inserts across cactus nodes,
+//! every deletion — rebuilds the cactus from the maintained λ
+//! ([`CactusBuilder::build_with_lambda`], no solver run), since the
+//! family can shrink or grow in ways the old structure cannot express.
 //!
 //! ```
 //! use mincut_core::{DynamicMinCut, SolveOptions};
@@ -58,14 +71,17 @@
 //! ```
 
 use std::io::BufRead;
+use std::time::Instant;
 
 use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, NodeId};
 
+use crate::cactus::{Cactus, CactusBuilder};
 use crate::error::MinCutError;
 use crate::options::SolveOptions;
 use crate::SolverRegistry;
 
-/// One operation of an edge-update trace (`i u v w` / `d u v` / `q`).
+/// One operation of an edge-update trace
+/// (`i u v w` / `d u v` / `q` / `qc` / `qs u v`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOp {
     /// `i u v w`: insert the undirected edge `{u, v}` with weight `w`
@@ -75,6 +91,12 @@ pub enum TraceOp {
     Delete { u: NodeId, v: NodeId },
     /// `q`: report the current λ.
     Query,
+    /// `qc`: report the number of distinct minimum cuts (needs a
+    /// maintained cactus).
+    QueryCount,
+    /// `qs u v`: report a minimum cut separating `u` from `v`, or that
+    /// none does (needs a maintained cactus).
+    QuerySeparating { u: NodeId, v: NodeId },
 }
 
 /// Parses one trace line (1-based `lineno` for errors) against a graph
@@ -133,9 +155,20 @@ pub fn parse_trace_op(line: &str, lineno: usize, n: usize) -> Result<Option<Trac
             TraceOp::Delete { u, v }
         }
         "q" => TraceOp::Query,
+        "qc" => TraceOp::QueryCount,
+        "qs" => {
+            let u = vertex("source")?;
+            let v = vertex("target")?;
+            if u == v {
+                return Err(err(format!(
+                    "separating query needs two distinct vertices, got {u} twice"
+                )));
+            }
+            TraceOp::QuerySeparating { u, v }
+        }
         other => {
             return Err(err(format!(
-                "unknown operation {other:?} (expected i, d or q)"
+                "unknown operation {other:?} (expected i, d, q, qc or qs)"
             )))
         }
     };
@@ -183,6 +216,12 @@ pub struct DynamicStats {
     pub resolves: u64,
     /// Wall-clock spent inside re-solves.
     pub resolve_seconds: f64,
+    /// Cactus rebuilds triggered by updates (cactus maintenance on).
+    pub cactus_rebuilds: u64,
+    /// Updates absorbed with the cactus provably unchanged.
+    pub cactus_absorbed: u64,
+    /// Wall-clock spent rebuilding cacti.
+    pub cactus_seconds: f64,
 }
 
 impl DynamicStats {
@@ -191,13 +230,17 @@ impl DynamicStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"insertions\":{},\"deletions\":{},\"queries\":{},\"incremental\":{},\
-             \"resolves\":{},\"resolve_seconds\":{:.9}}}",
+             \"resolves\":{},\"resolve_seconds\":{:.9},\"cactus_rebuilds\":{},\
+             \"cactus_absorbed\":{},\"cactus_seconds\":{:.9}}}",
             self.insertions,
             self.deletions,
             self.queries,
             self.incremental,
             self.resolves,
-            self.resolve_seconds
+            self.resolve_seconds,
+            self.cactus_rebuilds,
+            self.cactus_absorbed,
+            self.cactus_seconds
         )
     }
 }
@@ -214,6 +257,11 @@ pub struct DynamicMinCut {
     /// [`SolveOptions::witness`] is forced on internally.
     side: Vec<bool>,
     stats: DynamicStats,
+    /// The maintained cactus of all minimum cuts, when
+    /// [`enable_cactus`](DynamicMinCut::enable_cactus) switched the mode
+    /// on. Kept in lock-step with `(λ, witness)` by
+    /// [`refresh_cactus`](DynamicMinCut::refresh_cactus).
+    cactus: Option<Cactus>,
     /// Set when a re-solve failed *after* its mutation was applied: the
     /// graph and `(λ, witness)` are out of sync, so every further
     /// operation is refused instead of serving a silently wrong λ.
@@ -241,6 +289,7 @@ impl DynamicMinCut {
             lambda: 0,
             side: Vec::new(),
             stats: DynamicStats::default(),
+            cactus: None,
             poisoned: None,
         };
         this.resolve(None)?;
@@ -293,6 +342,61 @@ impl DynamicMinCut {
         &self.solver
     }
 
+    /// Switches cactus maintenance on, building the cactus of all
+    /// minimum cuts for the current graph from the maintained λ (no
+    /// solver run). Subsequent updates keep it current — see the
+    /// [module docs](self) for the absorb/rebuild policy. Idempotent.
+    pub fn enable_cactus(&mut self) -> Result<&Cactus, MinCutError> {
+        self.check_consistent()?;
+        if self.cactus.is_none() {
+            let t0 = Instant::now();
+            let csr = self.graph.to_csr();
+            let cactus = CactusBuilder::new().build_with_lambda(&csr, self.lambda)?;
+            self.stats.cactus_rebuilds += 1;
+            self.stats.cactus_seconds += t0.elapsed().as_secs_f64();
+            self.cactus = Some(cactus);
+        }
+        Ok(self.cactus.as_ref().expect("just built"))
+    }
+
+    /// The maintained cactus, when cactus maintenance is on.
+    #[inline]
+    pub fn cactus(&self) -> Option<&Cactus> {
+        self.cactus.as_ref()
+    }
+
+    /// Number of distinct minimum cuts of the current graph.
+    /// Errors with [`MinCutError::CactusUnavailable`] unless
+    /// [`enable_cactus`](DynamicMinCut::enable_cactus) was called.
+    pub fn count_min_cuts(&self) -> Result<u128, MinCutError> {
+        self.check_consistent()?;
+        Ok(self.require_cactus()?.count_min_cuts())
+    }
+
+    /// A minimum cut separating `u` from `v` (side bitmap with
+    /// `side[u] == true`), or `None` when no minimum cut separates them.
+    /// Needs cactus maintenance on, like
+    /// [`count_min_cuts`](DynamicMinCut::count_min_cuts).
+    pub fn min_cut_separating(
+        &self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<Option<Vec<bool>>, MinCutError> {
+        self.check_consistent()?;
+        self.check_endpoints(u, v)?;
+        Ok(self.require_cactus()?.min_cut_separating(u, v))
+    }
+
+    fn require_cactus(&self) -> Result<&Cactus, MinCutError> {
+        self.cactus
+            .as_ref()
+            .ok_or_else(|| MinCutError::CactusUnavailable {
+                message: "enable cactus maintenance first (DynamicMinCut::enable_cactus, \
+                      or --cactus on the CLI)"
+                    .to_string(),
+            })
+    }
+
     /// Why this maintainer refuses further operations, if a re-solve
     /// failed after its mutation was applied (`None`: consistent). A
     /// poisoned maintainer must be rebuilt with [`DynamicMinCut::new`].
@@ -327,6 +431,16 @@ impl DynamicMinCut {
                 self.stats.queries += 1;
                 Ok(self.report(false))
             }
+            TraceOp::QueryCount => {
+                self.count_min_cuts()?;
+                self.stats.queries += 1;
+                Ok(self.report(false))
+            }
+            TraceOp::QuerySeparating { u, v } => {
+                self.min_cut_separating(u, v)?;
+                self.stats.queries += 1;
+                Ok(self.report(false))
+            }
         }
     }
 
@@ -348,6 +462,14 @@ impl DynamicMinCut {
             });
         }
         let crossing = self.side[u as usize] != self.side[v as usize];
+        // Absorb test *before* the mutation: endpoints sharing a cactus
+        // node are crossed by no minimum cut, so no cut value changes
+        // and (inserts only raise values) no new minimum appears.
+        let absorb = self
+            .cactus
+            .as_ref()
+            .map(|c| c.same_node(u, v))
+            .unwrap_or(false);
         self.graph.insert_edge(u, v, w);
         self.stats.insertions += 1;
         if crossing {
@@ -359,6 +481,11 @@ impl DynamicMinCut {
         } else {
             // No cut got cheaper and the witness kept its value: λ holds.
             self.stats.incremental += 1;
+        }
+        if absorb {
+            self.stats.cactus_absorbed += 1;
+        } else {
+            self.refresh_cactus()?;
         }
         Ok(self.report(crossing))
     }
@@ -378,18 +505,37 @@ impl DynamicMinCut {
             });
         };
         self.stats.deletions += 1;
-        if crossing {
+        let report = if crossing {
             // Exact: every cut loses at most w, the witness loses exactly
             // w. (λ ≥ w always holds here: the witness's crossing weight
             // is λ and includes this edge.)
             self.lambda -= w;
             self.stats.incremental += 1;
-            Ok(self.report(false))
+            self.report(false)
         } else {
             let side = self.side.clone();
             self.resolve(Some((self.lambda, side)))?;
-            Ok(self.report(true))
+            self.report(true)
+        };
+        // Deletions can grow the family (cuts above λ dropping onto it)
+        // in ways the old structure cannot express: always rebuild.
+        self.refresh_cactus()?;
+        Ok(report)
+    }
+
+    /// Rebuilds the maintained cactus from the current graph and λ
+    /// (no-op when cactus maintenance is off).
+    fn refresh_cactus(&mut self) -> Result<(), MinCutError> {
+        if self.cactus.is_none() {
+            return Ok(());
         }
+        let t0 = Instant::now();
+        let csr = self.graph.to_csr();
+        let cactus = CactusBuilder::new().build_with_lambda(&csr, self.lambda)?;
+        self.stats.cactus_rebuilds += 1;
+        self.stats.cactus_seconds += t0.elapsed().as_secs_f64();
+        self.cactus = Some(cactus);
+        Ok(())
     }
 
     fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), MinCutError> {
@@ -637,6 +783,96 @@ mod tests {
             }
         }
         assert!(dm.check_consistent().is_err());
+    }
+
+    #[test]
+    fn trace_parser_accepts_cactus_queries() {
+        let ops = parse_trace(Cursor::new("qc\nqs 0 3\n"), 5).unwrap();
+        assert_eq!(
+            ops,
+            vec![TraceOp::QueryCount, TraceOp::QuerySeparating { u: 0, v: 3 }]
+        );
+        for (text, needle) in [
+            ("qs 0\n", "missing target"),
+            ("qs 0 9\n", "out of range"),
+            ("qs 2 2\n", "distinct"),
+            ("qc 1\n", "trailing"),
+            ("qs 0 1 2\n", "trailing"),
+        ] {
+            let err = parse_trace(Cursor::new(text), 5).expect_err(text);
+            match err {
+                MinCutError::TraceParse { line, message } => {
+                    assert_eq!(line, 1, "{text:?}");
+                    assert!(message.contains(needle), "{text:?}: {message}");
+                }
+                other => panic!("{text:?}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cactus_queries_without_maintenance_are_errors() {
+        let (g, _) = known::cycle_graph(5, 1);
+        let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+        assert!(matches!(
+            dm.count_min_cuts(),
+            Err(MinCutError::CactusUnavailable { .. })
+        ));
+        assert!(matches!(
+            dm.apply(&TraceOp::QueryCount),
+            Err(MinCutError::CactusUnavailable { .. })
+        ));
+        assert!(matches!(
+            dm.apply(&TraceOp::QuerySeparating { u: 0, v: 2 }),
+            Err(MinCutError::CactusUnavailable { .. })
+        ));
+        assert!(dm.cactus().is_none());
+    }
+
+    #[test]
+    fn maintained_cactus_tracks_updates_and_absorbs_internal_inserts() {
+        // Square 0-1-2-3: λ = 2, every vertex its own cactus node.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let mut dm = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new()).unwrap();
+        assert_eq!(dm.enable_cactus().unwrap().count_min_cuts(), 6); // C4
+        assert_eq!(dm.count_min_cuts().unwrap(), 6);
+        let builds_after_enable = dm.stats().cactus_rebuilds;
+
+        // Heavy chord 0-2 kills every cut separating 0 from 2: only the
+        // two cuts isolating 1 or 3 survive.
+        dm.insert_edge(0, 2, 5).unwrap();
+        assert_eq!(dm.count_min_cuts().unwrap(), 2);
+
+        // Now 0 and 2 share a cactus node: a parallel edge between them
+        // is absorbed without a rebuild.
+        let builds = dm.stats().cactus_rebuilds;
+        assert!(dm.cactus().unwrap().same_node(0, 2));
+        dm.insert_edge(0, 2, 1).unwrap();
+        assert_eq!(dm.stats().cactus_rebuilds, builds, "absorbed, no rebuild");
+        assert_eq!(dm.stats().cactus_absorbed, 1);
+        assert_eq!(dm.count_min_cuts().unwrap(), 2);
+
+        // Deleting 1-2 leaves vertex 1 hanging: λ = 1, one unique cut.
+        dm.delete_edge(1, 2).unwrap();
+        assert_eq!(dm.lambda(), 1);
+        assert_eq!(dm.count_min_cuts().unwrap(), 1);
+        let side = dm.min_cut_separating(1, 3).unwrap().unwrap();
+        assert!(side[1] && !side[3]);
+        assert_eq!(materialize(dm.graph()).cut_value(&side), 1);
+        assert_eq!(dm.min_cut_separating(0, 2).unwrap(), None);
+
+        // Every step after enabling kept the cactus in lock-step: a
+        // from-scratch build over the current graph agrees.
+        let fresh = CactusBuilder::new()
+            .build_with_lambda(&materialize(dm.graph()), dm.lambda())
+            .unwrap();
+        assert_eq!(
+            fresh.count_min_cuts(),
+            dm.count_min_cuts().unwrap(),
+            "maintained == rebuilt"
+        );
+        assert!(dm.stats().cactus_rebuilds > builds_after_enable);
+        assert!(dm.stats().to_json().contains("\"cactus_rebuilds\""));
     }
 
     #[test]

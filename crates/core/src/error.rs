@@ -31,6 +31,10 @@ pub enum MinCutError {
     /// A line of an edge-update trace (`i u v w` / `d u v` / `q`) failed
     /// to parse, with its 1-based line number.
     TraceParse { line: usize, message: String },
+    /// A cactus query (`qc` / `qs`) arrived where no cactus is
+    /// maintained — e.g. `--stream` without `--cactus`, or a dynamic
+    /// service handle registered without cactus maintenance.
+    CactusUnavailable { message: String },
 }
 
 impl std::fmt::Display for MinCutError {
@@ -60,6 +64,9 @@ impl std::fmt::Display for MinCutError {
             }
             MinCutError::TraceParse { line, message } => {
                 write!(f, "trace line {line}: {message}")
+            }
+            MinCutError::CactusUnavailable { message } => {
+                write!(f, "no cactus maintained: {message}")
             }
         }
     }

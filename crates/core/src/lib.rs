@@ -151,6 +151,7 @@
 //! assert!(result.verify(&g));
 //! ```
 
+pub mod cactus;
 pub mod capforest;
 pub mod dynamic;
 mod error;
@@ -167,6 +168,7 @@ mod stats;
 pub mod stoer_wagner;
 pub mod viecut;
 
+pub use cactus::{Cactus, CactusBuilder};
 pub use dynamic::{
     materialize, parse_trace, parse_trace_op, DynamicMinCut, DynamicStats, TraceOp, UpdateReport,
 };
@@ -181,7 +183,9 @@ pub use service::{
     JobStatus, MinCutService, ServiceConfig,
 };
 pub use solver::{Capabilities, Guarantee, Session, SolveOutcome, Solver};
-pub use stats::{json_string, PhaseTiming, ReductionPassStats, SolveContext, SolverStats};
+pub use stats::{
+    json_string, CactusStats, PhaseTiming, ReductionPassStats, SolveContext, SolverStats,
+};
 
 use mincut_graph::{CsrGraph, EdgeWeight};
 

@@ -517,7 +517,14 @@ const TRIANGLE_DEGREE_BUDGET: usize = 256;
 /// 2. `2·c(e) ≥ min(c(u), c(v))` — safe w.r.t. *non-trivial* minimum cuts
 ///    (moving the lighter endpoint across a separating cut never makes it
 ///    worse). Trivial cuts are covered because the caller keeps
-///    λ̂ ≤ min-degree at all times.
+///    λ̂ ≤ min-degree at all times. Unlike tests 1 and 3, this only
+///    promises that *some* minimum cut survives, and the shifting
+///    argument moves this edge's endpoints — so test-2 contractions in
+///    one pass must be vertex-disjoint (a matching). Chaining them is
+///    unsound: on the weighted C5 `0-1:3 0-4:5 1-2:6 2-3:4 3-4:4`
+///    (λ = 7), edges 2-3 and 3-4 each pass the test individually, but
+///    contracting both destroys every minimum cut and λ̂ never drops
+///    below 8.
 /// 3. `c(e) + Σ_{x ∈ N(u) ∩ N(v)} min(c(u,x), c(v,x)) ≥ λ̂` — every cut
 ///    separating u and v also pays, for each common neighbour x, the
 ///    cheaper of its two triangle edges (x lands on one side); exact-safe
@@ -540,6 +547,14 @@ fn pr_pass(
     triangle_budget: usize,
 ) -> usize {
     let mut unions = 0;
+    // Test 2 endpoints: the shifting argument re-sides the endpoints of
+    // the contracted edge, so two test-2 contractions sharing a vertex
+    // may have no common surviving minimum cut. Restricting the pass to
+    // a matching keeps the induction valid: each later edge's endpoints
+    // are untouched by every earlier move. Tests 1 and 3 lower-bound
+    // *every* cut separating their endpoints by λ̂, so they compose
+    // freely with each other and with the matching.
+    let mut matched = vec![false; g.n()];
     for u in 0..g.n() as NodeId {
         let du = g.weighted_degree(u);
         for (v, w) in g.arcs(u) {
@@ -547,9 +562,18 @@ fn pr_pass(
                 continue;
             }
             let dv = g.weighted_degree(v);
-            // Test 1 and 2 are edge-local.
-            if w >= lambda_hat || 2 * w >= du.min(dv) {
+            // Test 1: every u-v-separating cut costs ≥ c(e) ≥ λ̂.
+            if w >= lambda_hat {
                 if uf.union(u, v) {
+                    unions += 1;
+                }
+                continue;
+            }
+            // Test 2: only on a matching (see above).
+            if 2 * w >= du.min(dv) && !matched[u as usize] && !matched[v as usize] {
+                if uf.union(u, v) {
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
                     unions += 1;
                 }
                 continue;
@@ -657,6 +681,23 @@ mod tests {
                 &format!("trial {trial}, standard"),
             );
         }
+    }
+
+    #[test]
+    fn test2_contractions_stay_a_matching_within_a_pass() {
+        // Weighted C5 with λ = 7 (the cut {1, 2}, paying 3 + 4) but
+        // minimum degree 8. Test 2 fires on edges (0,4), (1,2), (2,3)
+        // and (3,4); batching the chain 2-3, 3-4 through one union-find
+        // pass used to destroy every minimum cut and report λ̂ = 8. The
+        // matching restriction keeps {3} out of round one, the kernel
+        // triangle's min degree drops λ̂ to 7, and round two finishes.
+        let g = CsrGraph::from_edges(5, &[(0, 1, 3), (0, 4, 5), (1, 2, 6), (2, 3, 4), (3, 4, 4)]);
+        assert_eq!(known::brute_force_mincut(&g), 7);
+        for name in ReductionPipeline::pass_names() {
+            let p = ReductionPipeline::only(&[name]).unwrap();
+            assert_exact(&p, &g, 7, &format!("pass {name}"));
+        }
+        assert_exact(&ReductionPipeline::standard(), &g, 7, "standard");
     }
 
     #[test]

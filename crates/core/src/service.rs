@@ -62,6 +62,7 @@ use std::time::{Duration, Instant};
 use mincut_ds::ShardedMap;
 use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight};
 
+use crate::cactus::Cactus;
 use crate::dynamic::{DynamicMinCut, DynamicStats, TraceOp, UpdateReport};
 use crate::error::MinCutError;
 use crate::options::SolveOptions;
@@ -514,6 +515,12 @@ pub struct MinCutService {
     /// Hosted dynamic graphs ([`MinCutService::register_dynamic`]).
     dynamic: Mutex<std::collections::HashMap<u64, Arc<DynamicEntry>>>,
     next_dynamic: AtomicU64,
+    /// Cactus cache for dynamic graphs with cactus maintenance on:
+    /// keyed like the cut cache (`(origin_fingerprint, epoch)` folded
+    /// into one key, with a `|cactus` marker) and tallied into the same
+    /// [`CacheStats`]. Mutations invalidate the previous epoch's entry
+    /// exactly like cut entries.
+    cacti: ShardedMap<u64, Arc<Cactus>>,
 }
 
 impl Default for MinCutService {
@@ -530,6 +537,7 @@ impl MinCutService {
             kernels: ShardedMap::new(4),
             dynamic: Mutex::new(std::collections::HashMap::new()),
             next_dynamic: AtomicU64::new(0),
+            cacti: ShardedMap::new(4),
         }
     }
 
@@ -542,10 +550,11 @@ impl MinCutService {
         self.cache.stats()
     }
 
-    /// Drops every memoised result and kernel (counters are kept).
+    /// Drops every memoised result, kernel and cactus (counters kept).
     pub fn clear_cache(&self) {
         self.cache.map.clear();
         self.kernels.clear();
+        self.cacti.clear();
     }
 
     /// Runs one job outside a batch (no skips, same cache and bounds).
@@ -594,6 +603,25 @@ impl MinCutService {
         Ok(DynamicHandle(id))
     }
 
+    /// Like [`MinCutService::register_dynamic`], but the maintainer
+    /// also keeps the cactus of *all* minimum cuts current across
+    /// mutations ([`DynamicMinCut::enable_cactus`]); serve it with
+    /// [`MinCutService::dynamic_cactus`].
+    pub fn register_dynamic_with_cactus(
+        &self,
+        graph: impl Into<DeltaGraph>,
+        solver: &str,
+        opts: SolveOptions,
+    ) -> Result<DynamicHandle, MinCutError> {
+        let handle = self.register_dynamic(graph, solver, opts)?;
+        let entry = self.dynamic_entry(handle)?;
+        if let Err(e) = entry.maintainer.lock().unwrap().enable_cactus() {
+            let _ = self.unregister_dynamic(handle);
+            return Err(e);
+        }
+        Ok(handle)
+    }
+
     /// Applies one trace operation to a hosted dynamic graph. Mutations
     /// advance the epoch: the previous epoch's cache entry is evicted
     /// (and counted as invalidated) and the new `(λ, witness)` is
@@ -608,10 +636,16 @@ impl MinCutService {
         let before = maintainer.epoch();
         let report = maintainer.apply(op)?;
         if report.epoch != before && self.config.cache {
-            self.cache.invalidate(
-                maintainer.graph().origin_fingerprint(),
-                &entry.epoch_config(before),
-            );
+            let fingerprint = maintainer.graph().origin_fingerprint();
+            let stale = entry.epoch_config(before);
+            self.cache.invalidate(fingerprint, &stale);
+            if self
+                .cacti
+                .remove(&Self::cactus_key(fingerprint, &stale))
+                .is_some()
+            {
+                self.cache.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
             drop(maintainer);
             self.cache_dynamic_state(&entry);
         }
@@ -640,6 +674,52 @@ impl MinCutService {
         } else {
             Ok((maintainer.lambda(), false))
         }
+    }
+
+    /// Serves the cactus of all minimum cuts of a hosted dynamic graph
+    /// (and whether it came from the epoch-keyed cactus cache). The
+    /// handle must have been registered with
+    /// [`MinCutService::register_dynamic_with_cactus`] — without
+    /// maintenance this is [`MinCutError::CactusUnavailable`].
+    pub fn dynamic_cactus(
+        &self,
+        handle: DynamicHandle,
+    ) -> Result<(Arc<Cactus>, bool), MinCutError> {
+        let entry = self.dynamic_entry(handle)?;
+        let maintainer = entry.maintainer.lock().unwrap();
+        maintainer.check_consistent()?;
+        let g = maintainer.graph();
+        let key = Self::cactus_key(g.origin_fingerprint(), &entry.epoch_config(g.epoch()));
+        if self.config.cache {
+            if let Some(cactus) = self.cacti.get_cloned(&key) {
+                if cactus.n() == g.n() && cactus.lambda() == maintainer.lambda() {
+                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((cactus, true));
+                }
+            }
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let cactus = Arc::new(
+            maintainer
+                .cactus()
+                .ok_or_else(|| MinCutError::CactusUnavailable {
+                    message: "register the graph with register_dynamic_with_cactus".to_string(),
+                })?
+                .clone(),
+        );
+        if self.config.cache && self.cacti.len() < self.config.cache_capacity {
+            self.cache.insertions.fetch_add(1, Ordering::Relaxed);
+            self.cacti
+                .merge_insert(key, Arc::clone(&cactus), |slot, new| *slot = new);
+        }
+        Ok((cactus, false))
+    }
+
+    /// Cactus-cache key: the cut-cache key of the same
+    /// `(origin_fingerprint, epoch)` pair with a `|cactus` marker
+    /// appended, so the two caches can never collide on a config.
+    fn cactus_key(fingerprint: u64, epoch_config: &str) -> u64 {
+        CutCache::key(fingerprint, &format!("{epoch_config}|cactus"))
     }
 
     /// Lifetime counters of a hosted dynamic graph.
@@ -1340,6 +1420,66 @@ mod tests {
             service.unregister_dynamic(h),
             Err(MinCutError::InvalidUpdate { .. })
         ));
+    }
+
+    #[test]
+    fn dynamic_cacti_are_epoch_cached_and_invalidated() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, _) = known::cycle_graph(5, 1); // λ = 2, 10 min cuts
+        let h = service
+            .register_dynamic_with_cactus(g, "noi-viecut", SolveOptions::new().seed(1))
+            .unwrap();
+
+        // First query memoises the epoch-0 cactus, second one hits it.
+        let (c, from_cache) = service.dynamic_cactus(h).unwrap();
+        assert!(!from_cache);
+        assert_eq!((c.lambda(), c.count_min_cuts()), (2, 10));
+        let (c2, from_cache) = service.dynamic_cactus(h).unwrap();
+        assert!(from_cache);
+        assert_eq!(c2.count_min_cuts(), 10);
+
+        // A chord drops the count; the epoch-0 cactus (and λ entry)
+        // are both evicted and the new epoch serves the new cactus.
+        let inv0 = service.cache_stats().invalidations;
+        service
+            .dynamic_update(h, &TraceOp::Insert { u: 0, v: 2, w: 5 })
+            .unwrap();
+        assert_eq!(service.cache_stats().invalidations, inv0 + 2);
+        let (c, from_cache) = service.dynamic_cactus(h).unwrap();
+        assert!(!from_cache);
+        assert_eq!((c.lambda(), c.count_min_cuts()), (2, 4));
+        assert!(service.dynamic_cactus(h).unwrap().1);
+
+        // Plain handles have no cactus to serve.
+        let (g, _) = known::cycle_graph(5, 1);
+        let plain = service
+            .register_dynamic(g, "noi-viecut", SolveOptions::new().seed(1))
+            .unwrap();
+        assert!(matches!(
+            service.dynamic_cactus(plain),
+            Err(MinCutError::CactusUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_cacti_work_with_the_cache_disabled() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().cache(false));
+        let (g, _) = known::cycle_graph(4, 3); // λ = 6, 6 min cuts
+        let h = service
+            .register_dynamic_with_cactus(g, "noi-viecut", SolveOptions::new())
+            .unwrap();
+        assert_eq!(service.dynamic_cactus(h).unwrap().0.count_min_cuts(), 6);
+        service
+            .dynamic_update(h, &TraceOp::Delete { u: 0, v: 1 })
+            .unwrap();
+        let (c, from_cache) = service.dynamic_cactus(h).unwrap();
+        assert!(!from_cache, "no cache to hit");
+        assert_eq!((c.lambda(), c.count_min_cuts()), (3, 3));
+        assert_eq!(service.cache_stats(), CacheStats::default());
     }
 
     #[test]

@@ -223,6 +223,44 @@ impl SolverStats {
     }
 }
 
+/// Build-time telemetry of one cactus construction (carried by
+/// [`Cactus`](crate::cactus::Cactus) and surfaced in its JSON summary).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CactusStats {
+    /// Input size the cactus was built for.
+    pub n: usize,
+    pub m: usize,
+    pub lambda: EdgeWeight,
+    /// Minimum cuts enumerated (0 for the λ = 0 structural family).
+    pub cuts: u64,
+    /// Vertex classes — vertices never separated by any minimum cut
+    /// (λ = 0: connected components).
+    pub classes: usize,
+    /// Wall-clock of the λ solve (0 when λ was supplied).
+    pub solve_seconds: f64,
+    /// Wall-clock of the all-min-cuts enumeration.
+    pub enumerate_seconds: f64,
+    /// Wall-clock of structure assembly plus the bijection validation.
+    pub build_seconds: f64,
+}
+
+impl CactusStats {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"m\":{},\"lambda\":{},\"cuts\":{},\"classes\":{},\
+             \"solve_seconds\":{:.9},\"enumerate_seconds\":{:.9},\"build_seconds\":{:.9}}}",
+            self.n,
+            self.m,
+            self.lambda,
+            self.cuts,
+            self.classes,
+            self.solve_seconds,
+            self.enumerate_seconds,
+            self.build_seconds
+        )
+    }
+}
+
 fn push_json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);

@@ -13,14 +13,20 @@
 //!   Goldberg, Karger, Levine and Stein).
 //!
 //! Also exposes [`min_st_cut`], used by the test suites to validate the
-//! connectivity lower bounds `q(e) ≤ λ(G, u, v)` that CAPFOREST certifies.
+//! connectivity lower bounds `q(e) ≤ λ(G, u, v)` that CAPFOREST certifies,
+//! and [`dinic_max_flow`] / [`enumerate_min_st_sides`] — a conservation
+//! max flow whose residual closed sets enumerate *every* minimum s-t cut
+//! (the per-pair primitive behind the cactus subsystem of `mincut-core`).
 
+mod dinic;
 mod gomory_hu;
 mod hao_orlin;
 mod push_relabel;
 
-pub(crate) mod residual;
+pub mod residual;
 
+pub use dinic::{dinic_max_flow, enumerate_min_st_sides};
 pub use gomory_hu::GomoryHuTree;
 pub use hao_orlin::{hao_orlin, HaoOrlinResult};
 pub use push_relabel::{max_flow, min_st_cut, MaxFlowResult};
+pub use residual::Residual;

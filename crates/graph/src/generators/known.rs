@@ -169,6 +169,39 @@ pub fn brute_force_mincut(g: &CsrGraph) -> EdgeWeight {
     best
 }
 
+/// Brute-force enumeration of **every** minimum cut: `(λ, sides)`, each
+/// side canonicalised to `side[0] == false` and the list sorted, so two
+/// enumerations compare with `==`. Same n ≤ 24 limit as
+/// [`brute_force_mincut`]; this is the ground-truth oracle the cactus
+/// subsystem's bijection is tested against.
+pub fn brute_force_all_min_cuts(g: &CsrGraph) -> (EdgeWeight, Vec<Vec<bool>>) {
+    let n = g.n();
+    assert!((2..=24).contains(&n), "brute force limited to 2 ≤ n ≤ 24");
+    let mut best = EdgeWeight::MAX;
+    let mut sides: Vec<Vec<bool>> = Vec::new();
+    // Vertex n-1 fixed on side false kills the complement symmetry, so
+    // every bipartition is visited exactly once.
+    for mask in 1u32..(1 << (n - 1)) {
+        let mut side: Vec<bool> = (0..n).map(|v| v < n - 1 && (mask >> v) & 1 == 1).collect();
+        let value = g.cut_value(&side);
+        if value > best {
+            continue;
+        }
+        if value < best {
+            best = value;
+            sides.clear();
+        }
+        if side[0] {
+            for b in &mut side {
+                *b = !*b;
+            }
+        }
+        sides.push(side);
+    }
+    sides.sort();
+    (best, sides)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

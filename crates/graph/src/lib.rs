@@ -42,7 +42,7 @@ pub mod stats;
 pub use contract::{ContractionEngine, ContractionPath};
 pub use csr::{CsrGraph, GraphBuilder};
 pub use delta::DeltaGraph;
-pub use partition::Membership;
+pub use partition::{signature_classes, Membership};
 
 /// Vertex identifier. Graphs up to ~4.2 billion vertices.
 pub type NodeId = u32;

@@ -99,6 +99,52 @@ impl Membership {
     }
 }
 
+/// Partitions `0..n` into classes of vertices with identical membership
+/// across every side bitmap in `sides` — two vertices share a class iff
+/// no side separates them. Returns `(class_of, num_classes)`; classes
+/// are numbered in order of their smallest vertex, so the numbering is
+/// deterministic and `class_of[0] == 0`.
+///
+/// This is the signature-refinement step of the cactus construction in
+/// `mincut-core`: the classes of the minimum-cut family are the vertex
+/// contents of the cactus nodes. Runs in O(|sides| · n) time and O(n)
+/// memory by refining incrementally instead of materialising per-vertex
+/// signatures.
+pub fn signature_classes<'a, I>(n: usize, sides: I) -> (Vec<NodeId>, usize)
+where
+    I: IntoIterator<Item = &'a [bool]>,
+{
+    let mut class_of: Vec<NodeId> = vec![0; n];
+    let mut num_classes = 1usize.min(n);
+    // Scratch: for each (old class, membership) pair the new class id.
+    let mut split_true: Vec<NodeId> = Vec::new();
+    let mut split_false: Vec<NodeId> = Vec::new();
+    const UNSET: NodeId = NodeId::MAX;
+    for side in sides {
+        assert_eq!(side.len(), n, "side bitmap length mismatch");
+        split_true.clear();
+        split_true.resize(num_classes, UNSET);
+        split_false.clear();
+        split_false.resize(num_classes, UNSET);
+        let mut next = 0 as NodeId;
+        for v in 0..n {
+            let old = class_of[v] as usize;
+            let slot = if side[v] {
+                &mut split_true[old]
+            } else {
+                &mut split_false[old]
+            };
+            if *slot == UNSET {
+                *slot = next;
+                next += 1;
+            }
+            class_of[v] = *slot;
+        }
+        num_classes = next as usize;
+    }
+    (class_of, num_classes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +170,27 @@ mod tests {
             m.side_of_vertices(&[1]),
             vec![false, true, false, true, false]
         );
+    }
+
+    #[test]
+    fn signature_classes_refine_deterministically() {
+        // No sides: everything in one class.
+        let (c, k) = signature_classes(4, std::iter::empty());
+        assert_eq!((c, k), (vec![0, 0, 0, 0], 1));
+
+        // One side splits into two classes, numbered by smallest vertex.
+        let s1 = vec![false, true, true, false];
+        let (c, k) = signature_classes(4, [s1.as_slice()]);
+        assert_eq!(k, 2);
+        assert_eq!(c, vec![0, 1, 1, 0]);
+
+        // A second side refines one block; class 0 keeps vertex 0.
+        let s2 = vec![false, true, false, false];
+        let (c, k) = signature_classes(4, [s1.as_slice(), s2.as_slice()]);
+        assert_eq!(k, 3);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[3], 0, "0 and 3 are never separated");
+        assert_ne!(c[1], c[2], "s2 separates 1 from 2");
     }
 
     #[test]

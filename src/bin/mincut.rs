@@ -25,8 +25,8 @@ use sm_mincut::algorithms::json_string as json_str;
 use sm_mincut::algorithms::{ReductionPipeline, Reductions};
 use sm_mincut::graph::io::{read_edge_list, read_metis, GraphIoError};
 use sm_mincut::{
-    parse_trace, BatchJob, CsrGraph, ErrorPolicy, JobStatus, MinCutError, MinCutService,
-    ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
+    parse_trace, BatchJob, Cactus, CactusBuilder, CsrGraph, ErrorPolicy, JobStatus, MinCutError,
+    MinCutService, ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
 };
 
 struct Options {
@@ -39,6 +39,7 @@ struct Options {
     threads_set: bool,
     jobs: usize,
     fail_fast: bool,
+    cactus: bool,
     print_side: bool,
     print_edges: bool,
     print_stats: bool,
@@ -85,6 +86,11 @@ OPTIONS:
                           in order; known: {passes}
       --stats             print the SolverStats report as JSON on stdout
                           (with per-pass kernelization lines on stderr)
+      --cactus            build the cactus of ALL minimum cuts and print
+                          its JSON summary (lambda, min-cut count, node /
+                          cycle / bridge structure) instead of one cut;
+                          with --stream, maintain it across the trace and
+                          answer qc/qs queries (not available in --batch)
       --side              print one side of the optimal cut
       --edges             print the cut edge set
       --list              list registered solvers and exit
@@ -104,12 +110,14 @@ BATCH MODE:
 STREAM MODE:
       --stream <TRACE>    maintain the minimum cut of <GRAPH> across the
                           edge updates in TRACE — one op per line:
-                          `i u v w` insert, `d u v` delete, `q` query
-                          (0-based vertices, `#`/`%` comments) — through
-                          the service's dynamic API; emits one JSON
-                          object per op on stdout with the maintained
-                          lambda, and the DynamicStats on stderr
-                          (--side/--edges are single-graph only)
+                          `i u v w` insert, `d u v` delete, `q` query,
+                          and with --cactus also `qc` (count all minimum
+                          cuts) and `qs u v` (a minimum cut separating u
+                          from v) (0-based vertices, `#`/`%` comments) —
+                          through the service's dynamic API; emits one
+                          JSON object per op on stdout with the
+                          maintained lambda, and the DynamicStats on
+                          stderr (--side/--edges are single-graph only)
 
 SOLVERS (cli name, paper name, description):
 {names}",
@@ -127,6 +135,7 @@ fn parse_args() -> Options {
         threads_set: false,
         jobs: 0,
         fail_fast: false,
+        cactus: false,
         print_side: false,
         print_edges: false,
         print_stats: false,
@@ -218,6 +227,7 @@ fn parse_args() -> Options {
                 }
             },
             "--fail-fast" => opts.fail_fast = true,
+            "--cactus" => opts.cactus = true,
             "--stats" => opts.print_stats = true,
             "--side" => opts.print_side = true,
             "--edges" => opts.print_edges = true,
@@ -250,6 +260,14 @@ fn parse_args() -> Options {
     }
     if opts.batch.is_none() && (opts.jobs != 0 || opts.fail_fast) {
         eprintln!("error: --jobs/--fail-fast only apply to --batch mode");
+        usage()
+    }
+    if opts.cactus && opts.batch.is_some() {
+        eprintln!("error: --cactus is not available in --batch mode");
+        usage()
+    }
+    if opts.cactus && (opts.print_side || opts.print_edges) {
+        eprintln!("error: --cactus replaces the single-cut output; drop --side/--edges");
         usage()
     }
     if opts.stream.is_some() && opts.path.is_empty() {
@@ -464,7 +482,12 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
     };
 
     let service = MinCutService::new(ServiceConfig::new());
-    let handle = match service.register_dynamic(g, &cli.algorithm, cli.opts.clone()) {
+    let registered = if cli.cactus {
+        service.register_dynamic_with_cactus(g, &cli.algorithm, cli.opts.clone())
+    } else {
+        service.register_dynamic(g, &cli.algorithm, cli.opts.clone())
+    };
+    let handle = match registered {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: initial solve failed: {e}");
@@ -473,21 +496,36 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
     };
 
     for (index, op) in ops.iter().enumerate() {
+        let fail = |e: MinCutError| -> ! {
+            println!(
+                "{{\"index\":{index},\"status\":\"error\",\"error\":{}}}",
+                json_str(&e.to_string())
+            );
+            eprintln!("error: update {index} failed: {e}");
+            exit(1)
+        };
         let report = match service.dynamic_update(handle, op) {
             Ok(r) => r,
-            Err(e) => {
-                println!(
-                    "{{\"index\":{index},\"status\":\"error\",\"error\":{}}}",
-                    json_str(&e.to_string())
-                );
-                eprintln!("error: update {index} failed: {e}");
-                exit(1)
-            }
+            Err(e) => fail(e),
         };
         let op_fields = match *op {
             TraceOp::Insert { u, v, w } => format!("\"op\":\"i\",\"u\":{u},\"v\":{v},\"w\":{w}"),
             TraceOp::Delete { u, v } => format!("\"op\":\"d\",\"u\":{u},\"v\":{v}"),
             TraceOp::Query => "\"op\":\"q\"".into(),
+            // The cactus queries carry their answer in the JSON row;
+            // without --cactus, dynamic_update already failed above.
+            TraceOp::QueryCount => {
+                let (cactus, _) = service.dynamic_cactus(handle).unwrap_or_else(|e| fail(e));
+                format!("\"op\":\"qc\",\"count\":{}", cactus.count_min_cuts())
+            }
+            TraceOp::QuerySeparating { u, v } => {
+                let (cactus, _) = service.dynamic_cactus(handle).unwrap_or_else(|e| fail(e));
+                let cut = match cactus.min_cut_separating(u, v) {
+                    Some(side) => Cactus::side_to_json(&side),
+                    None => "null".into(),
+                };
+                format!("\"op\":\"qs\",\"u\":{u},\"v\":{v},\"cut\":{cut}")
+            }
         };
         println!(
             "{{\"index\":{index},{op_fields},\"epoch\":{},\"lambda\":{},\"resolved\":{}}}",
@@ -499,6 +537,36 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
         .dynamic_stats(handle)
         .expect("handle registered above");
     eprintln!("stream: {}", stats.to_json());
+    exit(0)
+}
+
+/// Single-graph cactus mode: build the cactus of all minimum cuts
+/// (solving λ through the chosen solver first) and print its JSON
+/// summary on stdout. Never returns.
+fn run_cactus_mode(cli: &Options, g: &CsrGraph) -> ! {
+    let builder = CactusBuilder::new()
+        .solver(&cli.algorithm)
+        .options(cli.opts.clone());
+    let cactus = match builder.build(g) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cactus construction failed: {e}");
+            exit(1)
+        }
+    };
+    let s = cactus.stats();
+    eprintln!(
+        "cactus: {} min cuts, {} nodes, {} cycles, {} bridges \
+         (solve {:.3} s, enumerate {:.3} s, build {:.3} s)",
+        cactus.count_min_cuts(),
+        cactus.num_nodes(),
+        cactus.num_cycles(),
+        cactus.num_bridges(),
+        s.solve_seconds,
+        s.enumerate_seconds,
+        s.build_seconds
+    );
+    println!("{}", cactus.to_json());
     exit(0)
 }
 
@@ -522,6 +590,10 @@ fn main() {
 
     let g = load_graph(&cli.path);
     eprintln!("graph: n = {}, m = {}", g.n(), g.m());
+
+    if cli.cactus {
+        run_cactus_mode(&cli, &g);
+    }
 
     let session = Session::new(&g).options(cli.opts.clone());
     let outcome = match session.run(&cli.algorithm) {

@@ -97,10 +97,10 @@ pub use mincut_graph as graph;
 // The names a typical user needs, flattened.
 pub use mincut_core::{
     materialize, minimum_cut, minimum_cut_seeded, parse_trace, parse_trace_op, Algorithm, BatchJob,
-    BatchReport, BatchStats, CacheStats, Capabilities, DynamicHandle, DynamicMinCut, DynamicStats,
-    ErrorPolicy, Guarantee, JobReport, JobStatus, Membership, MinCutError, MinCutResult,
-    MinCutService, PqKind, ReduceOutcome, ReductionPassStats, ReductionPipeline, Reductions,
-    ServiceConfig, Session, SolveOptions, SolveOutcome, Solver, SolverRegistry, SolverStats,
-    TraceOp, UpdateReport,
+    BatchReport, BatchStats, CacheStats, Cactus, CactusBuilder, CactusStats, Capabilities,
+    DynamicHandle, DynamicMinCut, DynamicStats, ErrorPolicy, Guarantee, JobReport, JobStatus,
+    Membership, MinCutError, MinCutResult, MinCutService, PqKind, ReduceOutcome,
+    ReductionPassStats, ReductionPipeline, Reductions, ServiceConfig, Session, SolveOptions,
+    SolveOutcome, Solver, SolverRegistry, SolverStats, TraceOp, UpdateReport,
 };
 pub use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, GraphBuilder, NodeId};

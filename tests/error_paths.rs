@@ -83,6 +83,7 @@ fn trace_parser_rejections_are_values_with_line_numbers() {
     for (line, needle) in [
         ("x 0 1", "unknown operation"),
         ("insert 0 1 2", "unknown operation"),
+        ("qcount", "expected i, d, q, qc or qs"),
         ("i 0 1", "missing weight"),
         ("d 0", "missing target vertex"),
         ("i 0 9 1", "out of range"),
@@ -95,6 +96,11 @@ fn trace_parser_rejections_are_values_with_line_numbers() {
         ("q stray", "trailing token"),
         ("i 0 1 2 3", "trailing token"),
         ("i zero 1 2", "invalid source"),
+        ("qc 1", "trailing token"),
+        ("qs 0", "missing target vertex"),
+        ("qs 0 9", "out of range"),
+        ("qs 2 2", "distinct vertices"),
+        ("qs 0 1 2", "trailing token"),
     ] {
         let err = parse_trace(Cursor::new(format!("q\n{line}\n")), 5).expect_err(line);
         match err {
@@ -387,4 +393,99 @@ fn cli_stream_mode_exit_codes_and_output() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2), "--stream + --side");
+}
+
+#[test]
+fn cli_cactus_mode_exit_codes_and_output() {
+    // One-shot cactus summary on a golden instance: exit 0, the JSON
+    // carries the hand-verified count (triangle: the 3 singletons).
+    let out = mincut_bin()
+        .arg("--cactus")
+        .arg(data("triangle.graph"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"lambda\":2"), "{stdout}");
+    assert!(stdout.contains("\"min_cuts\":3"), "{stdout}");
+
+    // Usage errors, all detected before any graph loads: --cactus is a
+    // single-graph mode and replaces the single-cut output flags.
+    let out = mincut_bin()
+        .args(["--cactus", "--batch", "whatever.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "--cactus + --batch");
+    for flag in ["--side", "--edges"] {
+        let out = mincut_bin()
+            .arg("--cactus")
+            .arg(flag)
+            .arg(data("triangle.graph"))
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--cactus + {flag}");
+    }
+
+    // Unreadable graph under --cactus: runtime failure.
+    let out = mincut_bin()
+        .args(["--cactus", "/nonexistent/nope.graph"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn cli_stream_cactus_queries_exit_codes() {
+    // qc / qs against a cactus-enabled stream: exit 0, count present,
+    // and `qs` on two vertices no minimum cut separates reports null.
+    let trace = scratch_file("cactus_ok.trace", "qc\nqs 2 3\nqs 0 1\n");
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .arg("--cactus")
+        .arg(data("barbell.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    // barbell: λ = 1, uniquely the bridge 2–3.
+    assert!(lines[0].contains("\"op\":\"qc\"") && lines[0].contains("\"count\":1"));
+    assert!(lines[1].contains("\"op\":\"qs\"") && lines[1].contains("\"cut\":["));
+    assert!(lines[2].contains("\"op\":\"qs\"") && lines[2].contains("\"cut\":null"));
+
+    // The same queries without --cactus: runtime failure (exit 1) with
+    // an error JSON row pointing at the fix.
+    let out = mincut_bin()
+        .args(["--stream"])
+        .arg(&trace)
+        .arg(data("barbell.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "qc without --cactus");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"status\":\"error\"") && stdout.contains("enable_cactus"),
+        "{stdout}"
+    );
+
+    // Malformed cactus queries: runtime failures naming the line.
+    for (name, content) in [
+        ("qs_selfpair.trace", "q\nqs 1 1\n"),
+        ("qs_range.trace", "qs 0 99\n"),
+        ("qc_trailing.trace", "qc 7\n"),
+    ] {
+        let trace = scratch_file(name, content);
+        let out = mincut_bin()
+            .args(["--stream"])
+            .arg(&trace)
+            .arg("--cactus")
+            .arg(data("barbell.txt"))
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{name}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("trace line"), "{name}: {stderr}");
+    }
 }

@@ -17,11 +17,11 @@ use std::io::BufReader;
 use std::path::Path;
 use std::sync::Arc;
 
-use sm_mincut::graph::generators::known::brute_force_mincut;
+use sm_mincut::graph::generators::known::{brute_force_all_min_cuts, brute_force_mincut};
 use sm_mincut::graph::io::{read_edge_list, read_metis};
 use sm_mincut::{
-    materialize, parse_trace, BatchJob, CsrGraph, DeltaGraph, DynamicMinCut, MinCutService,
-    Reductions, ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
+    materialize, parse_trace, BatchJob, CactusBuilder, CsrGraph, DeltaGraph, DynamicMinCut,
+    MinCutService, Reductions, ServiceConfig, Session, SolveOptions, SolverRegistry, TraceOp,
 };
 
 /// `(file, hand-verified λ)` — keep in sync with tests/data/README.md.
@@ -53,6 +53,64 @@ fn load(name: &str) -> CsrGraph {
 
 fn corpus() -> Vec<(&'static str, CsrGraph, u64)> {
     GOLDEN.iter().map(|&(f, l)| (f, load(f), l)).collect()
+}
+
+/// `(file, hand-verified number of minimum cuts)` — keep in sync with
+/// the cactus table in tests/data/README.md.
+const GOLDEN_CACTI: &[(&str, u128)] = &[
+    ("triangle.graph", 3),            // each singleton
+    ("path4.txt", 3),                 // each path edge
+    ("cycle5.graph", 10),             // n(n-1)/2 edge pairs
+    ("k5.graph", 5),                  // each singleton
+    ("barbell.txt", 1),               // the bridge
+    ("square_diag.graph", 2),         // the two off-chord singletons
+    ("two_triangles_bridge2.txt", 1), // the weight-2 bridge
+    ("star6.graph", 5),               // each leaf edge
+    ("grid3x3.txt", 4),               // the four corners
+    ("two_components.txt", 1),        // 2^(c-1) - 1 with c = 2
+];
+
+/// Satellite of the cactus subsystem: the hand-verified min-cut *count*
+/// of every golden instance, cross-checked three ways — the cactus
+/// count, the cactus enumeration, and the brute-force all-min-cuts
+/// oracle must agree exactly, on every file.
+#[test]
+fn golden_cactus_counts_match_brute_force() {
+    assert_eq!(GOLDEN.len(), GOLDEN_CACTI.len(), "tables drifted");
+    let builder = CactusBuilder::new().options(SolveOptions::new().seed(7));
+    for (&(file, lambda), &(cfile, expected)) in GOLDEN.iter().zip(GOLDEN_CACTI) {
+        assert_eq!(file, cfile, "tables drifted");
+        let g = load(file);
+        let cactus = builder.build(&g).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(cactus.lambda(), lambda, "{file}: cactus λ");
+        assert_eq!(
+            cactus.count_min_cuts(),
+            expected,
+            "{file}: the hand-verified count in GOLDEN_CACTI/README is wrong"
+        );
+        let (bl, bsides) = brute_force_all_min_cuts(&g);
+        assert_eq!(bl, lambda, "{file}: oracle λ");
+        assert_eq!(bsides.len() as u128, expected, "{file}: oracle count");
+        assert_eq!(
+            cactus.enumerate_min_cuts(usize::MAX),
+            bsides,
+            "{file}: enumerated family diverged from brute force"
+        );
+    }
+
+    // The structural invariants the corpus pins down: a cycle C_n is one
+    // cactus cycle with n(n-1)/2 cuts, and a disconnected instance
+    // reports its component structure (λ = 0, one cactus node per
+    // component, 2^(c-1) - 1 cuts).
+    let c5 = builder.build(&load("cycle5.graph")).unwrap();
+    assert_eq!(c5.num_cycles(), 1);
+    assert_eq!(c5.count_min_cuts(), 5 * 4 / 2);
+    let two = builder.build(&load("two_components.txt")).unwrap();
+    assert_eq!(two.lambda(), 0);
+    assert_eq!(two.components(), 2);
+    assert_eq!(two.num_nodes(), 2);
+    assert_eq!(two.num_bridges(), 0);
+    assert_eq!(two.count_min_cuts(), 1);
 }
 
 #[test]
@@ -150,7 +208,7 @@ fn golden_update_trace_matches_hand_verified_lambdas() {
             TraceOp::Delete { u, v } => {
                 shadow.delete_edge(u, v).expect("trace deletes live edges");
             }
-            TraceOp::Query => {}
+            TraceOp::Query | TraceOp::QueryCount | TraceOp::QuerySeparating { .. } => {}
         }
         assert_eq!(
             brute_force_mincut(&materialize(&shadow)),

@@ -5,8 +5,8 @@
 use sm_mincut::graph::generators::{barabasi_albert, known, random_hyperbolic_graph, RhgParams};
 use sm_mincut::graph::kcore::k_core_lcc;
 use sm_mincut::{
-    materialize, minimum_cut_seeded, Algorithm, CsrGraph, DeltaGraph, DynamicMinCut, NodeId,
-    PqKind, Reductions, Session, SolveOptions,
+    materialize, minimum_cut_seeded, Algorithm, CactusBuilder, CsrGraph, DeltaGraph, DynamicMinCut,
+    NodeId, PqKind, Reductions, Session, SolveOptions,
 };
 
 use rand::rngs::SmallRng;
@@ -211,6 +211,96 @@ fn dynamic_maintainer_matches_from_scratch_on_random_traces() {
                 reference.fingerprint(),
                 "threads {threads}, trial {trial}: compact() must be \
                  fingerprint-identical to from_edges"
+            );
+        }
+    }
+}
+
+/// Differential test for cactus maintenance: random update traces with
+/// `enable_cactus` on — after **every** operation the maintained cactus
+/// (which absorbs non-structural inserts and rebuilds otherwise) must be
+/// indistinguishable from a from-scratch `CactusBuilder` run on the
+/// materialised graph: same λ, same min-cut count, identical enumerated
+/// family, and agreeing separating-cut answers on every vertex pair —
+/// at 1 and 4 worker threads (the CI matrix adds
+/// `RAYON_NUM_THREADS ∈ {1, 4}` on top, like the rest of this suite).
+#[test]
+fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC7);
+    let fresh = CactusBuilder::new().options(SolveOptions::new().seed(3));
+    for threads in [1usize, 4] {
+        for trial in 0..4 {
+            let n = 5 + (trial % 3) * 2;
+            let mut edges: Vec<(NodeId, NodeId, u64)> = (1..n as NodeId)
+                .map(|v| (v - 1, v, rng.gen_range(1..4)))
+                .collect();
+            for _ in 0..rng.gen_range(n..2 * n) {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                if u != v {
+                    edges.push((u, v, rng.gen_range(1..4)));
+                }
+            }
+            let base = CsrGraph::from_edges(n, &edges);
+            let opts = SolveOptions::new().seed(11 + trial as u64).threads(threads);
+            let mut dm = DynamicMinCut::new(base.clone(), "parcut", opts)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            dm.enable_cactus()
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let mut shadow = DeltaGraph::new(base);
+
+            for step in 0..16 {
+                let tag = format!("threads {threads}, trial {trial}, step {step}");
+                if shadow.m() == 0 || rng.gen_bool(0.6) {
+                    let (mut u, mut v) = (0, 0);
+                    while u == v {
+                        u = rng.gen_range(0..n as NodeId);
+                        v = rng.gen_range(0..n as NodeId);
+                    }
+                    let w = rng.gen_range(1..5);
+                    dm.insert_edge(u, v, w)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    shadow.insert_edge(u, v, w);
+                } else {
+                    let live: Vec<_> = shadow.edges().collect();
+                    let (u, v, _) = live[rng.gen_range(0..live.len())];
+                    dm.delete_edge(u, v)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    shadow.delete_edge(u, v).expect("picked a live edge");
+                }
+
+                let current = materialize(&shadow);
+                let oracle = fresh
+                    .build(&current)
+                    .unwrap_or_else(|e| panic!("{tag}: rebuild: {e}"));
+                let maintained = dm.cactus().expect("maintenance is on");
+                assert_eq!(maintained.lambda(), oracle.lambda(), "{tag}: λ");
+                assert_eq!(
+                    maintained.count_min_cuts(),
+                    oracle.count_min_cuts(),
+                    "{tag}: min-cut count"
+                );
+                assert_eq!(
+                    maintained.enumerate_min_cuts(usize::MAX),
+                    oracle.enumerate_min_cuts(usize::MAX),
+                    "{tag}: enumerated family"
+                );
+                for u in 0..n as NodeId {
+                    for v in (u + 1)..n as NodeId {
+                        assert_eq!(
+                            dm.min_cut_separating(u, v)
+                                .unwrap_or_else(|e| panic!("{tag}: {e}"))
+                                .is_some(),
+                            oracle.min_cut_separating(u, v).is_some(),
+                            "{tag}: separating oracle on ({u}, {v})"
+                        );
+                    }
+                }
+            }
+            let stats = dm.stats();
+            assert!(
+                stats.cactus_rebuilds >= 1,
+                "threads {threads}, trial {trial}: the initial build counts"
             );
         }
     }

@@ -6,7 +6,11 @@
 //! * inexact solvers return the value of a real cut ≥ λ;
 //! * contracting any set of edges that does not cross a minimum cut
 //!   preserves λ (the invariant behind every CAPFOREST contraction of
-//!   the paper: λ(G/F) = λ(G) when F stays inside the blocks).
+//!   the paper: λ(G/F) = λ(G) when F stays inside the blocks);
+//! * the cactus of all minimum cuts is a bijection: every cut it
+//!   enumerates has value exactly λ, the count matches the brute-force
+//!   all-min-cuts oracle, and `min_cut_separating(u, v)` agrees with
+//!   the enumeration for every vertex pair.
 //!
 //! The generated edge lists are multigraphs — duplicate pairs and
 //! self-loops included — exercising the builder's normalisation too.
@@ -15,7 +19,8 @@ use proptest::prelude::*;
 
 use sm_mincut::ds::UnionFind;
 use sm_mincut::graph::contract::contract;
-use sm_mincut::{CsrGraph, Session, SolveOptions, SolverRegistry};
+use sm_mincut::graph::generators::known::brute_force_all_min_cuts;
+use sm_mincut::{CactusBuilder, CsrGraph, Session, SolveOptions, SolverRegistry};
 
 /// Builds a graph on `n` vertices from raw (multigraph) edge records.
 fn build(n: usize, raw: &[(u32, u32, u64)]) -> CsrGraph {
@@ -96,5 +101,56 @@ proptest! {
             contracted_lambda, lambda,
             "contraction changed λ on n={} edges={:?} mask={:#x}", n, &raw, mask
         );
+    }
+
+    #[test]
+    fn cactus_is_a_bijection_onto_all_minimum_cuts(
+        n in 2usize..9,
+        raw in prop::collection::vec((0u32..16, 0u32..16, 1u64..8), 1..24),
+    ) {
+        let g = build(n, &raw);
+        let (lambda, all) = brute_force_all_min_cuts(&g);
+        let cactus = CactusBuilder::new()
+            .options(SolveOptions::new().seed(0xFEED))
+            .build(&g)
+            .unwrap_or_else(|e| panic!("n={n} edges={raw:?}: {e}"));
+        prop_assert_eq!(cactus.lambda(), lambda, "λ on n={} edges={:?}", n, &raw);
+
+        // Count and family match the oracle exactly...
+        prop_assert_eq!(
+            cactus.count_min_cuts(), all.len() as u128,
+            "count on n={} edges={:?}", n, &raw
+        );
+        let enumerated = cactus.enumerate_min_cuts(usize::MAX);
+        prop_assert_eq!(
+            &enumerated, &all,
+            "family on n={} edges={:?}", n, &raw
+        );
+        // ...and every enumerated side costs exactly λ on the graph.
+        for side in &enumerated {
+            prop_assert_eq!(
+                g.cut_value(side), lambda,
+                "a cut off λ on n={} edges={:?}", n, &raw
+            );
+        }
+
+        // The separating oracle agrees with the enumeration pairwise:
+        // a cut splitting {u, v} exists iff some enumerated side does,
+        // and the returned side really separates them at value λ.
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let split = enumerated
+                    .iter()
+                    .any(|s| s[u as usize] != s[v as usize]);
+                match cactus.min_cut_separating(u, v) {
+                    Some(side) => {
+                        prop_assert!(split, "spurious separator for ({}, {})", u, v);
+                        prop_assert!(side[u as usize] != side[v as usize]);
+                        prop_assert_eq!(g.cut_value(&side), lambda);
+                    }
+                    None => prop_assert!(!split, "missed separator for ({}, {})", u, v),
+                }
+            }
+        }
     }
 }
