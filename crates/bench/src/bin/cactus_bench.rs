@@ -8,15 +8,22 @@
 //!   split reported from `CactusStats` and the min-cut count checked
 //!   against the structural `count_min_cuts()`.
 //! * **maintain vs rebuild** — a deterministic mixed insert/delete trace
-//!   replayed through (a) a cactus-enabled `DynamicMinCut` and (b) a
-//!   baseline that rebuilds the cactus from scratch on the materialised
-//!   graph after every update. The two must agree on λ *and* on the
-//!   min-cut count after every operation — that differential check makes
-//!   this bin the CI smoke test of the cactus subsystem
-//!   (`SMC_SCALE=tiny`), mirroring `dynamic_throughput`.
+//!   replayed through (a) a cactus-enabled `DynamicMinCut` with
+//!   incremental repair on (the default), (b) the same maintainer with
+//!   repair disabled (`set_cactus_repair(false)` — every
+//!   structure-crossing update rebuilds), and (c) a baseline that
+//!   rebuilds the cactus from scratch on the materialised graph after
+//!   every update. All three must agree on λ *and* on the min-cut count
+//!   after every operation — that differential check makes this bin the
+//!   CI smoke test of the cactus subsystem (`SMC_SCALE=tiny`),
+//!   mirroring `dynamic_throughput`.
 //!
-//! Writes `results/BENCH_cactus.json` (build and maintenance rows share
-//! the report; `solver` distinguishes them).
+//! Writes `results/BENCH_cactus.json` (build, maintenance, and repair
+//! rows share the report; `solver` distinguishes them — the
+//! `cactus-repair` row reuses the PQ columns for the repair counters:
+//! pushes = repairs, raises = fallbacks, rounds = rebuilds). An
+//! optional argv[1] overrides the report name (e.g. `cactus_bench pr7`
+//! → `results/BENCH_pr7.json`).
 
 use std::time::Instant;
 
@@ -96,18 +103,22 @@ fn main() {
         Scale::Small => 96,
         Scale::Full => 384,
     };
+    let report_name = std::env::args().nth(1).unwrap_or_else(|| "cactus".into());
     println!("== Cactus build + maintenance cost (scale {scale:?}, {updates} updates) ==\n");
 
-    let mut report = BenchReport::new("cactus", scale);
+    let mut report = BenchReport::new(&report_name, scale);
     let mut table = Table::new(&[
         "instance",
         "lambda",
         "cuts",
         "build_s",
         "maint_s",
+        "noRepair_s",
         "rebuild_s",
-        "rebuild/maint",
+        "repair%",
+        "noRepair/maint",
     ]);
+    let (mut total_repairs, mut total_rebuilds) = (0u64, 0u64);
 
     for case in cases(scale) {
         let opts = SolveOptions::new().seed(5).threads(2);
@@ -143,21 +154,36 @@ fn main() {
         e.pq_pops = (cactus.stats().build_seconds * 1e6) as u64;
         report.push(e);
 
-        // Maintained path: one cactus-enabled maintainer over the trace.
+        // Maintained path A/B: repair-on (the default policy) vs
+        // rebuild-only (`set_cactus_repair(false)`), same trace.
         let trace = make_trace(&case.graph, updates, 0xCAC);
-        let t0 = Instant::now();
-        let mut dm = DynamicMinCut::new(case.graph.clone(), "parcut", opts.clone())
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        dm.enable_cactus()
-            .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-        let mut maintained = Vec::with_capacity(trace.len());
-        for op in &trace {
-            let lambda = dm.apply(op).expect("valid trace").lambda;
-            let cactus = dm.cactus().expect("maintenance enabled");
-            maintained.push((lambda, cactus.count_min_cuts()));
-        }
-        let maint_s = t0.elapsed().as_secs_f64();
-        let rebuilds = dm.stats().cactus_rebuilds;
+        let run_maintained = |repair: bool| {
+            let t0 = Instant::now();
+            let mut dm = DynamicMinCut::new(case.graph.clone(), "parcut", opts.clone())
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            dm.enable_cactus()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            dm.set_cactus_repair(repair);
+            let mut seq = Vec::with_capacity(trace.len());
+            for op in &trace {
+                let lambda = dm.apply(op).expect("valid trace").lambda;
+                let cactus = dm.cactus().expect("maintenance enabled");
+                seq.push((lambda, cactus.count_min_cuts()));
+            }
+            let stats = dm.stats().clone();
+            (t0.elapsed().as_secs_f64(), seq, stats)
+        };
+        let (maint_s, maintained, stats) = run_maintained(true);
+        let (no_repair_s, no_repair, off_stats) = run_maintained(false);
+        assert_eq!(
+            maintained, no_repair,
+            "{}: repair-on and rebuild-only modes diverged on (λ, #cuts)",
+            case.name
+        );
+        assert_eq!(off_stats.cactus_repairs, 0, "{}", case.name);
+        let rebuilds = stats.cactus_rebuilds;
+        total_repairs += stats.cactus_repairs;
+        total_rebuilds += rebuilds;
 
         // Baseline: from-scratch cactus on the materialised graph per op.
         let t0 = Instant::now();
@@ -198,6 +224,35 @@ fn main() {
         e.reps = trace.len();
         e.rounds = rebuilds;
         report.push(e);
+        // Repair row: the same run's repair counters (pushes = repairs,
+        // raises = fallbacks, rounds = rebuilds).
+        let mut e = BenchEntry::named(
+            &case.name,
+            "cactus-repair",
+            opts.threads,
+            case.graph.n(),
+            case.graph.m(),
+        );
+        e.lambda = maintained.last().expect("non-empty trace").0;
+        e.wall_s = maint_s;
+        e.reps = trace.len();
+        e.pq_pushes = stats.cactus_repairs;
+        e.pq_raises = stats.repair_fallbacks;
+        e.rounds = rebuilds;
+        report.push(e);
+        // Rebuild-only maintainer (the A/B control).
+        let mut e = BenchEntry::named(
+            &case.name,
+            "cactus-rebuild-only",
+            opts.threads,
+            case.graph.n(),
+            case.graph.m(),
+        );
+        e.lambda = no_repair.last().expect("non-empty trace").0;
+        e.wall_s = no_repair_s;
+        e.reps = trace.len();
+        e.rounds = off_stats.cactus_rebuilds;
+        report.push(e);
         let mut e = BenchEntry::named(
             &case.name,
             "cactus-rebuild",
@@ -210,16 +265,45 @@ fn main() {
         e.reps = trace.len();
         report.push(e);
 
+        let repair_share =
+            stats.cactus_repairs as f64 / (stats.cactus_repairs + rebuilds).max(1) as f64;
         table.row(vec![
             case.name.clone(),
             cactus.lambda().to_string(),
             cactus.count_min_cuts().to_string(),
             format!("{build_s:.5}"),
             format!("{maint_s:.5}"),
+            format!("{no_repair_s:.5}"),
             format!("{rebuild_s:.5}"),
-            format!("{:.2}", rebuild_s / maint_s.max(1e-9)),
+            format!("{:.0}%", repair_share * 100.0),
+            format!("{:.2}", no_repair_s / maint_s.max(1e-9)),
         ]);
+
+        // On the clustered families at small+ scale, repair must be the
+        // winning policy by a clear margin — this is the PR's headline
+        // acceptance bar (tiny traces are too short to amortise).
+        if scale != Scale::Tiny && case.name.starts_with("two_communities") {
+            assert!(
+                no_repair_s / maint_s.max(1e-9) >= 1.5,
+                "{}: repair-on must beat rebuild-only by ≥1.5× ({:.3}s vs {:.3}s)",
+                case.name,
+                maint_s,
+                no_repair_s
+            );
+        }
     }
+
+    // Across the whole workload, the majority of structure-crossing
+    // updates must resolve via local repair, not rebuild.
+    let ratio = total_repairs as f64 / (total_repairs + total_rebuilds).max(1) as f64;
+    println!(
+        "\nrepair ratio: {total_repairs} repairs / {total_rebuilds} rebuilds = {:.0}%",
+        ratio * 100.0
+    );
+    assert!(
+        ratio >= 0.5,
+        "repair ratio {ratio:.2} below the 50% acceptance bar"
+    );
 
     table.emit("cactus");
     match report.write() {

@@ -268,8 +268,16 @@ struct Circular {
     order_entries: Vec<Option<usize>>,
 }
 
-/// Steps 1–5 of the module docs: family → tree of cycles.
-fn assemble(n: usize, lambda: EdgeWeight, cuts: &[Vec<bool>], mut stats: CactusStats) -> Cactus {
+/// Steps 1–5 of the module docs: family → tree of cycles. Also the
+/// engine of [`repair`](super::repair): the incremental repair paths
+/// derive the post-update family from the old structure and reassemble
+/// it here, skipping the n−1 max flows of a full enumeration.
+pub(crate) fn assemble(
+    n: usize,
+    lambda: EdgeWeight,
+    cuts: &[Vec<bool>],
+    mut stats: CactusStats,
+) -> Cactus {
     // Step 1: classes.
     let (class_of, k) = signature_classes(n, cuts.iter().map(|s| s.as_slice()));
     stats.classes = k;

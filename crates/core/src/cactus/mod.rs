@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod enumerate;
+pub mod repair;
 
 pub use builder::CactusBuilder;
 
@@ -223,7 +224,8 @@ impl Cactus {
             return None;
         }
         if self.lambda == 0 {
-            // u's whole component against the rest.
+            // u's whole component against the rest — always a union of
+            // whole components (the only shape a value-0 cut can have).
             let mut side = vec![false; self.n];
             for &x in &self.nodes[nu as usize] {
                 side[x as usize] = true;
@@ -288,22 +290,37 @@ impl Cactus {
     pub fn enumerate_min_cuts(&self, limit: usize) -> Vec<Vec<bool>> {
         let mut sides: Vec<Vec<bool>> = Vec::new();
         if self.lambda == 0 {
-            // Unions of components not holding vertex 0.
-            let c = self.components;
+            // Unions of components not holding vertex 0: a (c−1)-bit
+            // counter over the non-root components, word-sliced so every
+            // emitted side is distinct for *any* c (a fixed-width mask
+            // would repeat itself — and never terminate under a large
+            // `limit` — once c − 1 outgrows it). The count saturates at
+            // u128::MAX for c ≥ 129; the enumeration stays exact up to
+            // `limit` regardless.
             let root = self.node_of(0);
-            let others: Vec<u32> = (0..c as u32).filter(|&x| x != root).collect();
-            let mut mask: u128 = 1;
-            while sides.len() < limit && (c > 128 || mask < (1u128 << (c - 1))) {
+            let others: Vec<u32> = (0..self.components as u32).filter(|&x| x != root).collect();
+            let bits = others.len(); // c − 1 ≥ 1
+            let mut mask = vec![0u64; (bits + 1).div_ceil(64)];
+            while sides.len() < limit {
+                for w in mask.iter_mut() {
+                    let (next, carry) = w.overflowing_add(1);
+                    *w = next;
+                    if !carry {
+                        break;
+                    }
+                }
+                if (mask[bits / 64] >> (bits % 64)) & 1 == 1 {
+                    break; // 2^(c−1) reached: all proper sides emitted
+                }
                 let mut side = vec![false; self.n];
                 for (i, &comp) in others.iter().enumerate() {
-                    if i < 128 && (mask >> i) & 1 == 1 {
+                    if (mask[i / 64] >> (i % 64)) & 1 == 1 {
                         for &v in &self.nodes[comp as usize] {
                             side[v as usize] = true;
                         }
                     }
                 }
                 sides.push(side);
-                mask += 1;
             }
             sides.sort();
             return sides;

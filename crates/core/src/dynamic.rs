@@ -48,10 +48,19 @@
 //! leave the family untouched are absorbed in O(1) — an insert whose
 //! endpoints share a cactus node is crossed by *no* minimum cut, so no
 //! cut value changes and (inserts only ever raise values) no new
-//! minimum appears. Everything else — inserts across cactus nodes,
-//! every deletion — rebuilds the cactus from the maintained λ
-//! ([`CactusBuilder::build_with_lambda`], no solver run), since the
-//! family can shrink or grow in ways the old structure cannot express.
+//! minimum appears. Structure-crossing updates first try **edge-local
+//! repair** ([`crate::cactus::repair`]): when the post-update family is
+//! derivable from the old structure — cross-node inserts that kept λ
+//! (the non-separating cuts survive), deletions crossed by some minimum
+//! cut (λ − w exactly, the separating cuts survive), same-node
+//! deletions that kept λ (old family plus the minimum u-v cuts of one
+//! residual) — the cactus is reassembled from the derived family with
+//! no enumeration flows, and the bijection is re-certified before the
+//! repair is accepted. Only when no case applies (λ moved unexpectedly,
+//! or certification failed) does the maintainer fall back to the full
+//! rebuild ([`CactusBuilder::build_with_lambda`], no solver run).
+//! `DynamicStats::{cactus_repairs, repair_fallbacks}` count the split;
+//! [`DynamicMinCut::set_cactus_repair`] is the rebuild-only A/B knob.
 //!
 //! ```
 //! use mincut_core::{DynamicMinCut, SolveOptions};
@@ -220,7 +229,14 @@ pub struct DynamicStats {
     pub cactus_rebuilds: u64,
     /// Updates absorbed with the cactus provably unchanged.
     pub cactus_absorbed: u64,
-    /// Wall-clock spent rebuilding cacti.
+    /// Structure-crossing updates resolved by edge-local repair —
+    /// deriving the new family from the old structure instead of
+    /// re-enumerating it (see [`crate::cactus::repair`]).
+    pub cactus_repairs: u64,
+    /// Repair attempts that could not certify the bijection and fell
+    /// back to a full rebuild (each also counts in `cactus_rebuilds`).
+    pub repair_fallbacks: u64,
+    /// Wall-clock spent repairing and rebuilding cacti.
     pub cactus_seconds: f64,
 }
 
@@ -231,7 +247,8 @@ impl DynamicStats {
         format!(
             "{{\"insertions\":{},\"deletions\":{},\"queries\":{},\"incremental\":{},\
              \"resolves\":{},\"resolve_seconds\":{:.9},\"cactus_rebuilds\":{},\
-             \"cactus_absorbed\":{},\"cactus_seconds\":{:.9}}}",
+             \"cactus_absorbed\":{},\"cactus_repairs\":{},\"repair_fallbacks\":{},\
+             \"cactus_seconds\":{:.9}}}",
             self.insertions,
             self.deletions,
             self.queries,
@@ -240,6 +257,8 @@ impl DynamicStats {
             self.resolve_seconds,
             self.cactus_rebuilds,
             self.cactus_absorbed,
+            self.cactus_repairs,
+            self.repair_fallbacks,
             self.cactus_seconds
         )
     }
@@ -259,9 +278,15 @@ pub struct DynamicMinCut {
     stats: DynamicStats,
     /// The maintained cactus of all minimum cuts, when
     /// [`enable_cactus`](DynamicMinCut::enable_cactus) switched the mode
-    /// on. Kept in lock-step with `(λ, witness)` by
-    /// [`refresh_cactus`](DynamicMinCut::refresh_cactus).
+    /// on. Kept in lock-step with `(λ, witness)` by edge-local repair
+    /// ([`crate::cactus::repair`]) with
+    /// [`refresh_cactus`](DynamicMinCut::refresh_cactus) as the
+    /// fallback.
     cactus: Option<Cactus>,
+    /// Whether structure-crossing updates try edge-local repair before
+    /// rebuilding (on by default; the A/B knob of
+    /// [`set_cactus_repair`](DynamicMinCut::set_cactus_repair)).
+    repair_cactus: bool,
     /// Set when a re-solve failed *after* its mutation was applied: the
     /// graph and `(λ, witness)` are out of sync, so every further
     /// operation is refused instead of serving a silently wrong λ.
@@ -290,6 +315,7 @@ impl DynamicMinCut {
             side: Vec::new(),
             stats: DynamicStats::default(),
             cactus: None,
+            repair_cactus: true,
             poisoned: None,
         };
         this.resolve(None)?;
@@ -462,6 +488,7 @@ impl DynamicMinCut {
             });
         }
         let crossing = self.side[u as usize] != self.side[v as usize];
+        let old_lambda = self.lambda;
         // Absorb test *before* the mutation: endpoints sharing a cactus
         // node are crossed by no minimum cut, so no cut value changes
         // and (inserts only raise values) no new minimum appears.
@@ -485,7 +512,7 @@ impl DynamicMinCut {
         if absorb {
             self.stats.cactus_absorbed += 1;
         } else {
-            self.refresh_cactus()?;
+            self.update_cactus_after_insert(u, v, old_lambda)?;
         }
         Ok(self.report(crossing))
     }
@@ -499,6 +526,11 @@ impl DynamicMinCut {
         self.check_consistent()?;
         self.check_endpoints(u, v)?;
         let crossing = self.side[u as usize] != self.side[v as usize];
+        let old_lambda = self.lambda;
+        // Classify against the cactus *before* the mutation: different
+        // nodes certify a separating minimum cut (the surviving family
+        // is then derivable locally); one shared node certifies none.
+        let separated = self.cactus.as_ref().map(|c| !c.same_node(u, v));
         let Some(w) = self.graph.delete_edge(u, v) else {
             return Err(MinCutError::InvalidUpdate {
                 message: format!("no edge ({u},{v}) to delete"),
@@ -517,10 +549,144 @@ impl DynamicMinCut {
             self.resolve(Some((self.lambda, side)))?;
             self.report(true)
         };
-        // Deletions can grow the family (cuts above λ dropping onto it)
-        // in ways the old structure cannot express: always rebuild.
-        self.refresh_cactus()?;
+        match separated {
+            None => {}
+            Some(true) => self.update_cactus_after_crossing_delete(u, v, w, old_lambda)?,
+            Some(false) => self.update_cactus_after_internal_delete(u, v, old_lambda)?,
+        }
         Ok(report)
+    }
+
+    /// Cactus update for an insert across two cactus nodes. When λ kept
+    /// its value, the new family is exactly the old cuts not separating
+    /// `u, v` (λ > 0), or the component merge (λ = 0) — derived locally
+    /// with no flow run. Anything else falls back to the rebuild.
+    fn update_cactus_after_insert(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        old_lambda: EdgeWeight,
+    ) -> Result<(), MinCutError> {
+        if self.cactus.is_none() {
+            return Ok(());
+        }
+        if !self.repair_cactus {
+            return self.refresh_cactus();
+        }
+        let t0 = Instant::now();
+        let repaired = (self.lambda == old_lambda)
+            .then(|| {
+                let c = self.cactus.as_ref().expect("cactus maintenance is on");
+                if old_lambda == 0 {
+                    c.repaired_merge_components(u, v)
+                } else {
+                    c.repaired_after_insert(u, v)
+                }
+            })
+            .flatten();
+        self.commit_repair(repaired, t0)
+    }
+
+    /// Cactus update for a deletion whose endpoints sat in different
+    /// cactus nodes: some minimum cut separates them, so λ drops to
+    /// λ − w exactly and the old separating cuts are the whole new
+    /// family — derivable from the structure alone. λ − w = 0 (the
+    /// graph disconnected) falls back to the cheap component rebuild.
+    fn update_cactus_after_crossing_delete(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        w: EdgeWeight,
+        old_lambda: EdgeWeight,
+    ) -> Result<(), MinCutError> {
+        if self.cactus.is_none() {
+            return Ok(());
+        }
+        if !self.repair_cactus {
+            return self.refresh_cactus();
+        }
+        let t0 = Instant::now();
+        let repaired = (old_lambda >= w && self.lambda == old_lambda - w)
+            .then(|| {
+                self.cactus
+                    .as_ref()
+                    .expect("cactus maintenance is on")
+                    .repaired_after_crossing_delete(u, v, self.lambda)
+            })
+            .flatten();
+        self.commit_repair(repaired, t0)
+    }
+
+    /// Cactus update for a deletion inside one cactus node. When λ kept
+    /// its value the old family survives whole and one conservation max
+    /// flow over the current graph either certifies it unchanged or
+    /// hands over every joining cut; a λ drop falls back to the rebuild.
+    fn update_cactus_after_internal_delete(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        old_lambda: EdgeWeight,
+    ) -> Result<(), MinCutError> {
+        if self.cactus.is_none() {
+            return Ok(());
+        }
+        if !self.repair_cactus {
+            return self.refresh_cactus();
+        }
+        let t0 = Instant::now();
+        let repaired = if old_lambda > 0 && self.lambda == old_lambda {
+            // The non-crossing re-solve already compacted the overlay,
+            // so this is a cheap no-op handing back the current CSR.
+            let g = self.graph.compact();
+            self.cactus
+                .as_ref()
+                .expect("cactus maintenance is on")
+                .repaired_after_internal_delete(g, u, v)
+        } else {
+            None
+        };
+        self.commit_repair(repaired, t0)
+    }
+
+    /// Installs a certified repair, or counts the fallback and rebuilds.
+    fn commit_repair(&mut self, repaired: Option<Cactus>, t0: Instant) -> Result<(), MinCutError> {
+        match repaired {
+            Some(cactus) => {
+                self.cactus = Some(cactus);
+                self.stats.cactus_repairs += 1;
+                self.stats.cactus_seconds += t0.elapsed().as_secs_f64();
+                Ok(())
+            }
+            None => {
+                self.stats.repair_fallbacks += 1;
+                self.refresh_cactus()
+            }
+        }
+    }
+
+    /// Switches edge-local cactus repair off (`false`: every
+    /// structure-crossing update rebuilds from scratch, the pre-repair
+    /// behaviour) or back on. The A/B knob of `cactus_bench`; repair is
+    /// on by default and maintains the identical structure.
+    pub fn set_cactus_repair(&mut self, enabled: bool) {
+        self.repair_cactus = enabled;
+    }
+
+    /// Re-solves `(λ, witness)` — and the cactus, when maintenance is
+    /// on — from the **current** `DeltaGraph` state, clearing the
+    /// poison a failed re-solve left behind. This is the recovery path
+    /// for a [poisoned](DynamicMinCut::poisoned) maintainer: fix what
+    /// made the re-solve fail (e.g. widen the time budget via
+    /// [`options_mut`](DynamicMinCut::options_mut)), then `rebuild()`
+    /// instead of reconstructing the whole maintainer. A failure here
+    /// re-poisons — the graph still has no valid `(λ, witness)`.
+    pub fn rebuild(&mut self) -> Result<UpdateReport, MinCutError> {
+        self.poisoned = None;
+        self.resolve(None)?;
+        if self.cactus.is_some() {
+            self.refresh_cactus()?;
+        }
+        Ok(self.report(true))
     }
 
     /// Rebuilds the maintained cactus from the current graph and λ
@@ -839,9 +1005,12 @@ mod tests {
         let builds_after_enable = dm.stats().cactus_rebuilds;
 
         // Heavy chord 0-2 kills every cut separating 0 from 2: only the
-        // two cuts isolating 1 or 3 survive.
+        // two cuts isolating 1 or 3 survive — a structure-crossing
+        // insert with λ unchanged, resolved by local repair, no rebuild.
         dm.insert_edge(0, 2, 5).unwrap();
         assert_eq!(dm.count_min_cuts().unwrap(), 2);
+        assert_eq!(dm.stats().cactus_repairs, 1);
+        assert_eq!(dm.stats().cactus_rebuilds, builds_after_enable);
 
         // Now 0 and 2 share a cactus node: a parallel edge between them
         // is absorbed without a rebuild.
@@ -853,9 +1022,12 @@ mod tests {
         assert_eq!(dm.count_min_cuts().unwrap(), 2);
 
         // Deleting 1-2 leaves vertex 1 hanging: λ = 1, one unique cut.
+        // The cut {1} separated the endpoints, so λ dropped by exactly w
+        // and the separating cuts survive: local repair again.
         dm.delete_edge(1, 2).unwrap();
         assert_eq!(dm.lambda(), 1);
         assert_eq!(dm.count_min_cuts().unwrap(), 1);
+        assert_eq!(dm.stats().cactus_repairs, 2);
         let side = dm.min_cut_separating(1, 3).unwrap().unwrap();
         assert!(side[1] && !side[3]);
         assert_eq!(materialize(dm.graph()).cut_value(&side), 1);
@@ -871,8 +1043,77 @@ mod tests {
             dm.count_min_cuts().unwrap(),
             "maintained == rebuilt"
         );
-        assert!(dm.stats().cactus_rebuilds > builds_after_enable);
+        assert_eq!(
+            dm.stats().cactus_rebuilds,
+            builds_after_enable,
+            "every structure-crossing update resolved via local repair"
+        );
+        assert_eq!(dm.stats().repair_fallbacks, 0);
         assert!(dm.stats().to_json().contains("\"cactus_rebuilds\""));
+        assert!(dm.stats().to_json().contains("\"cactus_repairs\""));
+    }
+
+    #[test]
+    fn rebuild_only_mode_maintains_the_identical_structure() {
+        // The A/B knob: with repair off every structure-crossing update
+        // rebuilds, and the maintained family must be identical.
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let mut on = DynamicMinCut::new(g.clone(), "noi-viecut", SolveOptions::new()).unwrap();
+        let mut off = DynamicMinCut::new(g, "noi-viecut", SolveOptions::new()).unwrap();
+        on.enable_cactus().unwrap();
+        off.enable_cactus().unwrap();
+        off.set_cactus_repair(false);
+        for op in [
+            TraceOp::Insert { u: 0, v: 2, w: 5 },
+            TraceOp::Delete { u: 1, v: 2 },
+            TraceOp::Insert { u: 1, v: 3, w: 1 },
+        ] {
+            on.apply(&op).unwrap();
+            off.apply(&op).unwrap();
+            assert_eq!(on.lambda(), off.lambda(), "{op:?}");
+            assert_eq!(
+                on.cactus().unwrap().enumerate_min_cuts(usize::MAX),
+                off.cactus().unwrap().enumerate_min_cuts(usize::MAX),
+                "{op:?}"
+            );
+        }
+        assert!(on.stats().cactus_repairs > 0, "repair mode repaired");
+        assert_eq!(off.stats().cactus_repairs, 0, "rebuild-only never repairs");
+        assert_eq!(off.stats().repair_fallbacks, 0, "no attempts counted");
+    }
+
+    #[test]
+    fn rebuild_clears_poison_and_resumes_service() {
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1); // bridge (0,6)
+        let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+        dm.enable_cactus().unwrap();
+        assert_eq!(dm.lambda(), l);
+
+        // Poison: the crossing insert mutates, then the re-solve trips
+        // on the zero budget.
+        dm.options_mut().time_budget = Some(std::time::Duration::ZERO);
+        dm.insert_edge(1, 7, 1).unwrap_err();
+        assert!(dm.poisoned().is_some());
+        assert!(dm.check_consistent().is_err());
+
+        // Fix the cause, rebuild from the current graph: poison clears,
+        // λ reflects the stuck mutation, and service resumes — cactus
+        // included.
+        dm.options_mut().time_budget = None;
+        let report = dm.rebuild().unwrap();
+        assert!(dm.poisoned().is_none());
+        assert_eq!(report.lambda, l + 1, "the poisoned insert did stick");
+        assert_eq!(dm.lambda(), l + 1);
+        assert_eq!(dm.graph().cut_value(dm.witness()), l + 1);
+        assert!(dm.count_min_cuts().unwrap() >= 1);
+        let r = dm.insert_edge(2, 8, 1).unwrap();
+        assert_eq!(r.lambda, l + 2, "subsequent updates serve again");
+
+        // A rebuild that fails re-poisons instead of serving stale state.
+        dm.options_mut().time_budget = Some(std::time::Duration::ZERO);
+        dm.insert_edge(3, 9, 1).unwrap_err();
+        assert!(dm.rebuild().is_err(), "zero budget still fails");
+        assert!(dm.poisoned().is_some());
     }
 
     #[test]

@@ -60,7 +60,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mincut_ds::ShardedMap;
-use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight};
+use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, NodeId};
 
 use crate::cactus::Cactus;
 use crate::dynamic::{DynamicMinCut, DynamicStats, TraceOp, UpdateReport};
@@ -623,9 +623,13 @@ impl MinCutService {
     }
 
     /// Applies one trace operation to a hosted dynamic graph. Mutations
-    /// advance the epoch: the previous epoch's cache entry is evicted
-    /// (and counted as invalidated) and the new `(λ, witness)` is
-    /// memoised under the new `(fingerprint, epoch)` key.
+    /// advance the epoch: the previous epoch's cut-cache entry *and*
+    /// cactus-cache entry are both evicted (and counted as invalidated)
+    /// and the new `(λ, witness)` is memoised under the new
+    /// `(fingerprint, epoch)` key. A failed re-solve is surfaced, never
+    /// cached: the stale entries are still evicted (the mutation stuck
+    /// even though the solve did not), but the poisoned state is not
+    /// memoised — recover with [`MinCutService::dynamic_rebuild`].
     pub fn dynamic_update(
         &self,
         handle: DynamicHandle,
@@ -634,8 +638,8 @@ impl MinCutService {
         let entry = self.dynamic_entry(handle)?;
         let mut maintainer = entry.maintainer.lock().unwrap();
         let before = maintainer.epoch();
-        let report = maintainer.apply(op)?;
-        if report.epoch != before && self.config.cache {
+        let result = maintainer.apply(op);
+        if maintainer.epoch() != before && self.config.cache {
             let fingerprint = maintainer.graph().origin_fingerprint();
             let stale = entry.epoch_config(before);
             self.cache.invalidate(fingerprint, &stale);
@@ -647,8 +651,21 @@ impl MinCutService {
                 self.cache.invalidations.fetch_add(1, Ordering::Relaxed);
             }
             drop(maintainer);
+            // Skips poisoned maintainers internally (check_consistent).
             self.cache_dynamic_state(&entry);
         }
+        result
+    }
+
+    /// Recovers a hosted maintainer that a failed re-solve poisoned:
+    /// re-solves from the current [`DeltaGraph`] state
+    /// ([`DynamicMinCut::rebuild`]), clearing the poison, and memoises
+    /// the fresh `(λ, witness)` under the current epoch's key. Safe to
+    /// call on a healthy maintainer (it is just a from-scratch solve).
+    pub fn dynamic_rebuild(&self, handle: DynamicHandle) -> Result<UpdateReport, MinCutError> {
+        let entry = self.dynamic_entry(handle)?;
+        let report = entry.maintainer.lock().unwrap().rebuild()?;
+        self.cache_dynamic_state(&entry);
         Ok(report)
     }
 
@@ -713,6 +730,32 @@ impl MinCutService {
                 .merge_insert(key, Arc::clone(&cactus), |slot, new| *slot = new);
         }
         Ok((cactus, false))
+    }
+
+    /// Batch separating queries answered from *one* cactus fetch: for
+    /// each pair `(u, v)` the side of some minimum cut separating them,
+    /// or `None` when no minimum cut does (same cactus node). A k-pair
+    /// fan-out costs one epoch-keyed cache probe (or one clone of the
+    /// maintained cactus) instead of k, which is what makes the CLI's
+    /// consecutive `qs` stream ops cheap.
+    pub fn min_cuts_separating_many(
+        &self,
+        handle: DynamicHandle,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Option<Vec<bool>>>, MinCutError> {
+        let (cactus, _) = self.dynamic_cactus(handle)?;
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                let n = cactus.n();
+                if (u as usize) >= n || (v as usize) >= n {
+                    return Err(MinCutError::InvalidUpdate {
+                        message: format!("separating query ({u}, {v}) out of range for n = {n}"),
+                    });
+                }
+                Ok(cactus.min_cut_separating(u, v))
+            })
+            .collect()
     }
 
     /// Cactus-cache key: the cut-cache key of the same
@@ -1461,6 +1504,139 @@ mod tests {
             service.dynamic_cactus(plain),
             Err(MinCutError::CactusUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn long_update_streams_leak_neither_cut_nor_cactus_entries() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, _) = known::cycle_graph(6, 1);
+        let h = service
+            .register_dynamic_with_cactus(g, "noi-viecut", SolveOptions::new().seed(1))
+            .unwrap();
+
+        // Query after every mutation so both caches are populated at
+        // every epoch — the worst case for a leak.
+        let cuts0 = service.cache_stats().entries;
+        let cacti0 = service.cacti.len();
+        for round in 0..20u32 {
+            let (u, v) = (round % 6, (round + 2) % 6);
+            let op = if round % 2 == 0 {
+                TraceOp::Insert { u, v, w: 1 }
+            } else {
+                TraceOp::Delete { u, v }
+            };
+            let _ = service.dynamic_update(h, &op); // failed deletes are fine
+            service.dynamic_lambda(h).unwrap();
+            service.dynamic_cactus(h).unwrap();
+            // Only the *current* epoch's entries may live in either
+            // cache: each mutation must evict, not just re-key.
+            assert!(
+                service.cache_stats().entries <= cuts0 + 1,
+                "cut cache leaked at round {round}: {}",
+                service.cache_stats().entries
+            );
+            assert!(
+                service.cacti.len() <= cacti0 + 1,
+                "cactus cache leaked at round {round}: {}",
+                service.cacti.len()
+            );
+        }
+        // Every successful mutation evicts a cut entry and (except the
+        // first, which predates any cactus query) a cactus entry.
+        let stats = service.cache_stats();
+        assert!(
+            stats.invalidations >= 15,
+            "evictions must be counted: {}",
+            stats.invalidations
+        );
+    }
+
+    #[test]
+    fn batch_separating_queries_are_served_from_one_cactus() {
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, _) = known::two_communities(5, 5, 1, 3, 2); // bridge (0,5), λ=1
+        let h = service
+            .register_dynamic_with_cactus(g, "noi-viecut", SolveOptions::new().seed(1))
+            .unwrap();
+
+        let hits0 = service.cache_stats().hits;
+        let answers = service
+            .min_cuts_separating_many(h, &[(0, 5), (1, 2), (3, 9), (4, 4)])
+            .unwrap();
+        assert_eq!(answers.len(), 4);
+        let side = answers[0].as_ref().expect("bridge endpoints separate");
+        assert_eq!(side.iter().filter(|&&b| b).count(), 5);
+        assert_eq!(side[0], side[1], "one community stays whole");
+        assert_ne!(side[0], side[5]);
+        assert!(answers[1].is_none(), "same clique, same cactus node");
+        assert!(answers[3].is_none(), "u == v never separates");
+        assert_eq!(answers[2], answers[0], "cross-bridge pairs see the cut");
+
+        // The whole batch consumed at most one fresh fetch; a second
+        // batch is pure cache hits.
+        service.min_cuts_separating_many(h, &[(0, 7)]).unwrap();
+        assert!(service.cache_stats().hits > hits0);
+
+        // Out-of-range pairs fail the batch loudly instead of panicking.
+        assert!(matches!(
+            service.min_cuts_separating_many(h, &[(0, 99)]),
+            Err(MinCutError::InvalidUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn poisoned_dynamic_state_is_surfaced_not_cached_and_rebuild_recovers() {
+        use crate::dynamic::TraceOp;
+
+        let service = MinCutService::new(ServiceConfig::new().concurrency(1));
+        let (g, l) = known::two_communities(6, 6, 1, 2, 1);
+        let h = service
+            .register_dynamic_with_cactus(g, "noi", SolveOptions::new().seed(1))
+            .unwrap();
+        assert_eq!(service.dynamic_lambda(h).unwrap().0, l);
+
+        // Zero the budget so the re-solve after a crossing insert fails
+        // mid-update: mutation stuck, epoch advanced, solve poisoned.
+        {
+            let entry = service.dynamic_entry(h).unwrap();
+            entry.maintainer.lock().unwrap().options_mut().time_budget = Some(Duration::ZERO);
+        }
+        service
+            .dynamic_update(h, &TraceOp::Insert { u: 1, v: 7, w: 1 })
+            .unwrap_err();
+
+        // The poisoned state is surfaced on every read path and never
+        // memoised under the new epoch.
+        assert!(service.dynamic_lambda(h).is_err());
+        assert!(service.dynamic_cactus(h).is_err());
+        let (fp, config, n, m) = {
+            let entry = service.dynamic_entry(h).unwrap();
+            let maintainer = entry.maintainer.lock().unwrap();
+            let g = maintainer.graph();
+            (
+                g.origin_fingerprint(),
+                entry.epoch_config(g.epoch()),
+                g.n(),
+                g.m(),
+            )
+        };
+        assert!(
+            service.cache.lookup(fp, &config, n, m).is_none(),
+            "poisoned epoch must not be served from cache"
+        );
+
+        // Fix the cause and rebuild through the service: poison clears
+        // and serving resumes at the post-mutation λ.
+        {
+            let entry = service.dynamic_entry(h).unwrap();
+            entry.maintainer.lock().unwrap().options_mut().time_budget = None;
+        }
+        let report = service.dynamic_rebuild(h).unwrap();
+        assert_eq!(report.lambda, l + 1);
+        assert_eq!(service.dynamic_lambda(h).unwrap(), (l + 1, true));
+        assert!(service.dynamic_cactus(h).unwrap().0.count_min_cuts() >= 1);
     }
 
     #[test]

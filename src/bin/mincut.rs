@@ -113,7 +113,9 @@ STREAM MODE:
                           `i u v w` insert, `d u v` delete, `q` query,
                           and with --cactus also `qc` (count all minimum
                           cuts) and `qs u v` (a minimum cut separating u
-                          from v) (0-based vertices, `#`/`%` comments) —
+                          from v; consecutive `qs` lines are answered as
+                          one batch from a single cached cactus)
+                          (0-based vertices, `#`/`%` comments) —
                           through the service's dynamic API; emits one
                           JSON object per op on stdout with the
                           maintained lambda, and the DynamicStats on
@@ -495,42 +497,77 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
         }
     };
 
-    for (index, op) in ops.iter().enumerate() {
-        let fail = |e: MinCutError| -> ! {
-            println!(
-                "{{\"index\":{index},\"status\":\"error\",\"error\":{}}}",
-                json_str(&e.to_string())
-            );
-            eprintln!("error: update {index} failed: {e}");
-            exit(1)
-        };
+    let fail = |index: usize, e: MinCutError| -> ! {
+        println!(
+            "{{\"index\":{index},\"status\":\"error\",\"error\":{}}}",
+            json_str(&e.to_string())
+        );
+        eprintln!("error: update {index} failed: {e}");
+        exit(1)
+    };
+    let mut index = 0;
+    while index < ops.len() {
+        // A run of consecutive `qs` ops is a fan-out over one epoch:
+        // answer the whole run from a single cached cactus fetch
+        // (min_cuts_separating_many) instead of one fetch per op.
+        if matches!(ops[index], TraceOp::QuerySeparating { .. }) {
+            let start = index;
+            let mut pairs = Vec::new();
+            while let Some(&TraceOp::QuerySeparating { u, v }) = ops.get(index) {
+                pairs.push((u, v));
+                index += 1;
+            }
+            let mut reports = Vec::with_capacity(pairs.len());
+            for (k, op) in ops[start..index].iter().enumerate() {
+                match service.dynamic_update(handle, op) {
+                    Ok(r) => reports.push(r),
+                    Err(e) => fail(start + k, e),
+                }
+            }
+            let cuts = service
+                .min_cuts_separating_many(handle, &pairs)
+                .unwrap_or_else(|e| fail(start, e));
+            for (k, (&(u, v), report)) in pairs.iter().zip(&reports).enumerate() {
+                let cut = match &cuts[k] {
+                    Some(side) => Cactus::side_to_json(side),
+                    None => "null".into(),
+                };
+                println!(
+                    "{{\"index\":{},\"op\":\"qs\",\"u\":{u},\"v\":{v},\"cut\":{cut},\
+                     \"epoch\":{},\"lambda\":{},\"resolved\":{}}}",
+                    start + k,
+                    report.epoch,
+                    report.lambda,
+                    report.resolved
+                );
+            }
+            continue;
+        }
+
+        let op = &ops[index];
         let report = match service.dynamic_update(handle, op) {
             Ok(r) => r,
-            Err(e) => fail(e),
+            Err(e) => fail(index, e),
         };
         let op_fields = match *op {
             TraceOp::Insert { u, v, w } => format!("\"op\":\"i\",\"u\":{u},\"v\":{v},\"w\":{w}"),
             TraceOp::Delete { u, v } => format!("\"op\":\"d\",\"u\":{u},\"v\":{v}"),
             TraceOp::Query => "\"op\":\"q\"".into(),
-            // The cactus queries carry their answer in the JSON row;
+            // The count query carries its answer in the JSON row;
             // without --cactus, dynamic_update already failed above.
             TraceOp::QueryCount => {
-                let (cactus, _) = service.dynamic_cactus(handle).unwrap_or_else(|e| fail(e));
+                let (cactus, _) = service
+                    .dynamic_cactus(handle)
+                    .unwrap_or_else(|e| fail(index, e));
                 format!("\"op\":\"qc\",\"count\":{}", cactus.count_min_cuts())
             }
-            TraceOp::QuerySeparating { u, v } => {
-                let (cactus, _) = service.dynamic_cactus(handle).unwrap_or_else(|e| fail(e));
-                let cut = match cactus.min_cut_separating(u, v) {
-                    Some(side) => Cactus::side_to_json(&side),
-                    None => "null".into(),
-                };
-                format!("\"op\":\"qs\",\"u\":{u},\"v\":{v},\"cut\":{cut}")
-            }
+            TraceOp::QuerySeparating { .. } => unreachable!("handled by the batched run above"),
         };
         println!(
             "{{\"index\":{index},{op_fields},\"epoch\":{},\"lambda\":{},\"resolved\":{}}}",
             report.epoch, report.lambda, report.resolved
         );
+        index += 1;
     }
 
     let stats = service

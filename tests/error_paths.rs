@@ -134,6 +134,44 @@ fn dynamic_updates_reject_bad_edges_as_values() {
     assert_eq!(dm.epoch(), 0);
 }
 
+/// Regression: a failed re-solve used to poison a `DynamicMinCut`
+/// forever — every later operation errored with no recovery path.
+/// `rebuild()` re-solves from the current `DeltaGraph` state and clears
+/// the poison once the cause (here: a zero time budget) is fixed.
+#[test]
+fn poisoned_maintainer_recovers_through_rebuild() {
+    let (g, l) = sm_mincut::graph::generators::known::two_communities(6, 6, 1, 2, 1);
+    let mut dm = DynamicMinCut::new(g, "noi", SolveOptions::new()).unwrap();
+    dm.enable_cactus().unwrap();
+    assert_eq!(dm.lambda(), l);
+
+    // The crossing insert mutates the graph, then its re-solve trips on
+    // the zero budget: the maintainer is poisoned, and without a
+    // recovery path every later op would fail forever.
+    dm.options_mut().time_budget = Some(std::time::Duration::ZERO);
+    dm.insert_edge(1, 7, 1).unwrap_err();
+    assert!(dm.poisoned().is_some());
+    assert!(dm.check_consistent().is_err());
+    dm.insert_edge(2, 8, 1).unwrap_err();
+    dm.count_min_cuts().unwrap_err();
+
+    // rebuild() while the cause persists fails and stays poisoned —
+    // never serves a stale λ.
+    dm.rebuild().unwrap_err();
+    assert!(dm.poisoned().is_some());
+
+    // Fix the cause: rebuild clears the poison, λ reflects the stuck
+    // mutation, and the cactus serves again.
+    dm.options_mut().time_budget = None;
+    let report = dm.rebuild().unwrap();
+    assert!(dm.poisoned().is_none());
+    assert_eq!(report.lambda, l + 1, "the poisoned insert did stick");
+    assert_eq!(dm.graph().cut_value(dm.witness()), l + 1);
+    assert!(dm.count_min_cuts().unwrap() >= 1);
+    let r = dm.insert_edge(2, 8, 1).unwrap();
+    assert_eq!(r.lambda, l + 2, "updates serve again after recovery");
+}
+
 // ---------------------------------------------------------------------
 // CLI layer: exit codes.
 // ---------------------------------------------------------------------

@@ -241,6 +241,96 @@ fn golden_update_trace_matches_hand_verified_lambdas() {
     }
 }
 
+/// Satellite of the λ = 0 one-node-per-component cactus encoding, on the
+/// golden disconnected instance: a separating query across components
+/// must return a side that is a union of whole components, and the
+/// enumeration must respect `limit` exactly — including the c > 128
+/// regime where `2^(c-1) - 1` overflows every practical limit.
+#[test]
+fn zero_lambda_cactus_queries_respect_components_and_limits() {
+    let builder = CactusBuilder::new().options(SolveOptions::new().seed(7));
+    let two = builder.build(&load("two_components.txt")).unwrap();
+    assert_eq!((two.lambda(), two.components()), (0, 2));
+
+    // Cross-component query: the side must be one whole component —
+    // never a proper subset of one (a value-0 cut cannot split a
+    // component).
+    let side = two.min_cut_separating(0, 3).expect("different components");
+    assert!(side == [true, true, true, false, false] || side == [false, false, false, true, true]);
+    assert_eq!(two.min_cut_separating(3, 4), None, "same component");
+    assert_eq!(two.min_cut_separating(0, 0), None, "u == v");
+
+    // c = 2 has exactly one value-0 cut: `limit` is an exact ceiling,
+    // not off by one in either direction.
+    assert!(two.enumerate_min_cuts(0).is_empty());
+    assert_eq!(two.enumerate_min_cuts(1).len(), 1);
+    assert_eq!(two.enumerate_min_cuts(5).len(), 1, "only one cut exists");
+    assert_eq!(
+        two.enumerate_min_cuts(usize::MAX),
+        vec![vec![false, false, false, true, true]],
+        "canonical side excludes vertex 0"
+    );
+
+    // 130 isolated vertices: c = 130 > 128, the count saturates, and a
+    // bounded enumeration must still emit exactly `limit` *distinct*
+    // unions of components (the old 128-bit mask walk wrapped and
+    // repeated itself here).
+    let dust = CsrGraph::from_edges(130, &[]);
+    let many = builder.build(&dust).unwrap();
+    assert_eq!(many.components(), 130);
+    assert_eq!(many.count_min_cuts(), u128::MAX, "saturated, not wrapped");
+    let sides = many.enumerate_min_cuts(500);
+    assert_eq!(sides.len(), 500);
+    let mut unique = sides.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), 500, "every enumerated side is distinct");
+    for side in &sides {
+        assert!(!side[0], "canonical sides exclude vertex 0's component");
+        assert!(side.iter().any(|&b| b), "no empty side");
+    }
+}
+
+/// Hand-verified min-cut *count* after each operation of
+/// `barbell.trace`, plus the repair classification of every
+/// structure-crossing update (see the README table; keep them in sync):
+/// op 2 (`i 0 3 2`) raises λ — fallback rebuild; op 3 (`d 3 4`) crosses
+/// with λ dropping by exactly w — local repair; op 5 (`d 4 5`) drops λ
+/// to 0 — fallback; op 6 (`i 3 4 5`) raises λ from 0 — fallback.
+const TRACE_CUT_COUNTS: &[u128] = &[1, 4, 2, 2, 1, 1, 1];
+
+#[test]
+fn golden_trace_repair_classification_is_hand_verified() {
+    let base = load("barbell.txt");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/barbell.trace");
+    let ops = parse_trace(BufReader::new(File::open(&path).unwrap()), base.n()).unwrap();
+    assert_eq!(ops.len(), TRACE_CUT_COUNTS.len(), "trace and table drifted");
+
+    let mut dm = DynamicMinCut::new(
+        base,
+        "noi-viecut",
+        SolveOptions::new().seed(0xC0FFEE).threads(2),
+    )
+    .unwrap();
+    dm.enable_cactus().unwrap();
+    for (i, (op, &expected)) in ops.iter().zip(TRACE_CUT_COUNTS).enumerate() {
+        dm.apply(op).unwrap_or_else(|e| panic!("op {i}: {e}"));
+        assert_eq!(
+            dm.count_min_cuts().unwrap(),
+            expected,
+            "op {i} ({op:?}): maintained count"
+        );
+        assert_eq!(dm.lambda(), TRACE_LAMBDAS[i], "op {i}: maintained λ");
+    }
+    let stats = dm.stats();
+    assert_eq!(stats.cactus_repairs, 1, "only `d 3 4` repairs locally");
+    assert_eq!(stats.repair_fallbacks, 3, "ops 2, 5, 6 fall back");
+    assert_eq!(
+        stats.cactus_rebuilds, 4,
+        "the enable-time build plus one rebuild per fallback"
+    );
+}
+
 #[test]
 fn batch_path_is_bit_identical_to_serial_sessions_and_caches_repeats() {
     let opts = SolveOptions::new().seed(5);

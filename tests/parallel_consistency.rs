@@ -229,6 +229,7 @@ fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
     let mut rng = SmallRng::seed_from_u64(0xCAC7);
     let fresh = CactusBuilder::new().options(SolveOptions::new().seed(3));
     for threads in [1usize, 4] {
+        let mut repairs_at_this_width = 0;
         for trial in 0..4 {
             let n = 5 + (trial % 3) * 2;
             let mut edges: Vec<(NodeId, NodeId, u64)> = (1..n as NodeId)
@@ -247,6 +248,19 @@ fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
                 .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             dm.enable_cactus()
                 .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            // A second maintainer with repair disabled: the A/B control
+            // must stay structurally identical to the repairing one
+            // after every op.
+            let mut dm_off = DynamicMinCut::new(
+                base.clone(),
+                "parcut",
+                SolveOptions::new().seed(11 + trial as u64).threads(threads),
+            )
+            .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            dm_off
+                .enable_cactus()
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            dm_off.set_cactus_repair(false);
             let mut shadow = DeltaGraph::new(base);
 
             for step in 0..16 {
@@ -260,11 +274,17 @@ fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
                     let w = rng.gen_range(1..5);
                     dm.insert_edge(u, v, w)
                         .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    dm_off
+                        .insert_edge(u, v, w)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
                     shadow.insert_edge(u, v, w);
                 } else {
                     let live: Vec<_> = shadow.edges().collect();
                     let (u, v, _) = live[rng.gen_range(0..live.len())];
                     dm.delete_edge(u, v)
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    dm_off
+                        .delete_edge(u, v)
                         .unwrap_or_else(|e| panic!("{tag}: {e}"));
                     shadow.delete_edge(u, v).expect("picked a live edge");
                 }
@@ -285,6 +305,17 @@ fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
                     oracle.enumerate_min_cuts(usize::MAX),
                     "{tag}: enumerated family"
                 );
+                let rebuilt_only = dm_off.cactus().expect("maintenance is on");
+                assert_eq!(
+                    (rebuilt_only.lambda(), rebuilt_only.count_min_cuts()),
+                    (oracle.lambda(), oracle.count_min_cuts()),
+                    "{tag}: rebuild-only (λ, count)"
+                );
+                assert_eq!(
+                    rebuilt_only.enumerate_min_cuts(usize::MAX),
+                    oracle.enumerate_min_cuts(usize::MAX),
+                    "{tag}: rebuild-only family"
+                );
                 for u in 0..n as NodeId {
                     for v in (u + 1)..n as NodeId {
                         assert_eq!(
@@ -302,7 +333,17 @@ fn maintained_cactus_matches_from_scratch_rebuild_on_random_traces() {
                 stats.cactus_rebuilds >= 1,
                 "threads {threads}, trial {trial}: the initial build counts"
             );
+            repairs_at_this_width += stats.cactus_repairs;
+            assert_eq!(
+                dm_off.stats().cactus_repairs,
+                0,
+                "threads {threads}, trial {trial}: rebuild-only never repairs"
+            );
         }
+        assert!(
+            repairs_at_this_width > 0,
+            "threads {threads}: random traces must exercise the repair path"
+        );
     }
 }
 
