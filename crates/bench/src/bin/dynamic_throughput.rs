@@ -15,6 +15,7 @@
 use std::time::Instant;
 
 use mincut_bench::instances::Scale;
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::table::Table;
 use mincut_core::dynamic::{materialize, DynamicMinCut, TraceOp};
 use mincut_core::{Session, SolveOptions};
@@ -95,6 +96,7 @@ fn main() {
     };
     println!("== Dynamic-update throughput (scale {scale:?}, {updates} updates) ==\n");
 
+    let mut report = BenchReport::new("dynamic", scale);
     let mut table = Table::new(&[
         "instance",
         "threads",
@@ -170,9 +172,27 @@ fn main() {
                 format!("{:.2}", full_s / dyn_s.max(1e-9)),
                 format!("{:.0}", trace.len() as f64 / dyn_s.max(1e-9)),
             ]);
+            // Baseline rows: the maintainer (rounds = re-solves) and the
+            // per-update cold-solve control.
+            let (n, m) = (case.graph.n(), case.graph.m());
+            let mut e = BenchEntry::named(&case.name, "dynamic-maintain", threads, n, m);
+            e.lambda = *dyn_lambdas.last().expect("non-empty trace");
+            e.wall_s = dyn_s;
+            e.reps = trace.len();
+            e.rounds = resolves;
+            report.push(e);
+            let mut e = BenchEntry::named(&case.name, "dynamic-cold-solve", threads, n, m);
+            e.lambda = *full_lambdas.last().expect("non-empty trace");
+            e.wall_s = full_s;
+            e.reps = trace.len();
+            report.push(e);
         }
     }
 
     table.emit("dynamic_throughput");
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write baseline: {e}"),
+    }
     println!("\nmaintained λ identical to a cold re-solve after every update ✓");
 }

@@ -347,12 +347,20 @@ fn rayon_workers() -> usize {
 }
 
 fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    // Best-of-reps, not mean-of-reps: on a throttled shared box a single
+    // descheduling spike inside the batch would otherwise poison it.
+    let mut best = f64::INFINITY;
     let t0 = Instant::now();
     let mut out = f();
+    let mut prev = t0.elapsed().as_secs_f64();
+    best = best.min(prev);
     for _ in 1..reps {
         out = f();
+        let now = t0.elapsed().as_secs_f64();
+        best = best.min(now - prev);
+        prev = now;
     }
-    (out, t0.elapsed().as_secs_f64() / reps.max(1) as f64)
+    (out, best)
 }
 
 /// Interleaved A/B measurement, min-of-batches: alternating short batches
@@ -503,7 +511,7 @@ fn main() {
             for &threads in &threads_list {
                 let run_opts = opts.clone().threads(threads);
                 let (legacy, legacy_s, outcome, new_s) = ab_time(
-                    6,
+                    12,
                     reps,
                     || {
                         if solver == "noi-viecut" {
@@ -570,22 +578,6 @@ fn main() {
         }
     }
 
-    // Acceptance bar: geometric mean of the sequential end-to-end
-    // speedups across the clustered instance set. Per-instance timings
-    // on a busy machine swing ±15%; the aggregate over the set is the
-    // claim the PR makes (individual rows are printed above).
-    if scale != Scale::Tiny {
-        let geomean = (noi_speedups.iter().map(|(_, s)| s.ln()).sum::<f64>()
-            / noi_speedups.len().max(1) as f64)
-            .exp();
-        println!("\nnoi-viecut end-to-end speedup, geometric mean: {geomean:.2}×");
-        assert!(
-            geomean >= SPEEDUP_TARGET,
-            "noi-viecut geomean speedup {geomean:.2} below the {SPEEDUP_TARGET}× acceptance bar \
-             ({noi_speedups:?})"
-        );
-    }
-
     println!("-- CAPFOREST scan: one bounded pass (identical λ̂/unions/ops asserted) --");
     scan_table.emit("hotpath_scan");
     println!("\n-- contraction: hash vs radix-sort accumulation (equal graphs asserted) --");
@@ -596,6 +588,23 @@ fn main() {
     match report.write() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => println!("\ncould not write BENCH json: {e}"),
+    }
+
+    // Acceptance bar: geometric mean of the sequential end-to-end
+    // speedups across the clustered instance set. Per-instance timings
+    // on a busy machine swing ±15%; the aggregate over the set is the
+    // claim the PR makes (individual rows are in the tables above, which
+    // are emitted first so a failed bar still leaves the data on disk).
+    if scale != Scale::Tiny {
+        let geomean = (noi_speedups.iter().map(|(_, s)| s.ln()).sum::<f64>()
+            / noi_speedups.len().max(1) as f64)
+            .exp();
+        println!("\nnoi-viecut end-to-end speedup, geometric mean: {geomean:.2}×");
+        assert!(
+            geomean >= SPEEDUP_TARGET,
+            "noi-viecut geomean speedup {geomean:.2} below the {SPEEDUP_TARGET}× acceptance bar \
+             ({noi_speedups:?})"
+        );
     }
     println!("old/new λ identical, sequential PQ-op streams identical ✓");
 }

@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use mincut_bench::instances::{social_proxy, Scale};
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::table::Table;
 use mincut_core::{ReductionPipeline, Session, SolveContext, SolveOptions, SolverStats};
 use mincut_graph::generators::known;
@@ -85,6 +86,7 @@ fn main() {
     let reps = scale.repetitions();
     println!("== Kernelization impact (scale {scale:?}) ==\n");
 
+    let mut report = BenchReport::new("reduction", scale);
     let mut kernel_table =
         Table::new(&["instance", "n", "m", "kernel_n", "kernel_m", "lambda_hat"]);
     let mut time_table = Table::new(&[
@@ -144,6 +146,21 @@ fn main() {
                 format!("{:.2}", t_off / t_on.max(1e-9)),
                 v_on.to_string(),
             ]);
+            // Baseline rows: the reductions-on run carries the kernel
+            // size, its `/no-reduce` control the full-graph solve.
+            let mut e = BenchEntry::named(&case.name, solver, threads, g.n(), g.m());
+            e.lambda = v_on;
+            e.wall_s = t_on;
+            e.reps = reps;
+            e.kernel_n = red.kernel.n();
+            e.kernel_m = red.kernel.m();
+            report.push(e);
+            let solver_off = format!("{solver}/no-reduce");
+            let mut e = BenchEntry::named(&case.name, &solver_off, threads, g.n(), g.m());
+            e.lambda = v_off;
+            e.wall_s = t_off;
+            e.reps = reps;
+            report.push(e);
         }
     }
 
@@ -151,5 +168,9 @@ fn main() {
     kernel_table.emit("reduction_impact_kernels");
     println!("\n-- wall time, reductions on vs off --");
     time_table.emit("reduction_impact_times");
+    match report.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write baseline: {e}"),
+    }
     println!("\nall λ values identical with reductions on and off ✓");
 }

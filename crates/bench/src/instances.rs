@@ -74,8 +74,20 @@ impl Scale {
     pub fn from_env() -> Scale {
         match std::env::var("SMC_SCALE").as_deref() {
             Ok("tiny") => Scale::Tiny,
+            Ok("small") | Err(_) => Scale::Small,
             Ok("full") => Scale::Full,
-            _ => Scale::Small,
+            Ok(other) => {
+                // Warn once per process: a typo'd SMC_SCALE silently
+                // running `small` wastes a full-scale bench session.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: unrecognized SMC_SCALE value {other:?} \
+                         (expected tiny|small|full); using small"
+                    );
+                });
+                Scale::Small
+            }
         }
     }
 

@@ -184,6 +184,332 @@ impl BenchReport {
     }
 }
 
+/// One row parsed back out of a `BENCH_<name>.json` file — the fields
+/// `bench-diff` joins and compares on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadedEntry {
+    pub instance: String,
+    pub solver: String,
+    pub threads: usize,
+    pub n: usize,
+    pub m: usize,
+    pub lambda: u64,
+    pub wall_s: f64,
+    pub reps: usize,
+    pub pq_pushes: u64,
+    pub pq_raises: u64,
+    pub pq_pops: u64,
+}
+
+impl LoadedEntry {
+    /// The join key of the diff: rows of two reports are compared iff
+    /// they agree on (instance, solver, threads).
+    pub fn key(&self) -> (String, String, usize) {
+        (self.instance.clone(), self.solver.clone(), self.threads)
+    }
+}
+
+/// A parsed `BENCH_<name>.json` report.
+#[derive(Clone, Debug)]
+pub struct LoadedReport {
+    pub name: String,
+    pub scale: String,
+    pub hardware_threads: usize,
+    pub entries: Vec<LoadedEntry>,
+}
+
+impl LoadedReport {
+    /// Reads and parses a report file.
+    pub fn load(path: impl AsRef<Path>) -> Result<LoadedReport, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the JSON emitted by [`BenchReport::to_json`]. The parser is
+    /// a generic minimal JSON reader (objects, arrays, strings, numbers,
+    /// booleans, null), so reports from every bench bin — and future
+    /// fields — load without schema churn; unknown fields are ignored and
+    /// missing numeric fields default to zero.
+    pub fn from_json(text: &str) -> Result<LoadedReport, String> {
+        let root = json::parse(text)?;
+        let obj = root.as_obj().ok_or("top level must be an object")?;
+        let mut report = LoadedReport {
+            name: String::new(),
+            scale: String::new(),
+            hardware_threads: 0,
+            entries: Vec::new(),
+        };
+        for (k, v) in obj {
+            match k.as_str() {
+                "name" => report.name = v.as_str().unwrap_or_default().to_string(),
+                "scale" => report.scale = v.as_str().unwrap_or_default().to_string(),
+                "hardware_threads" => report.hardware_threads = v.as_u64() as usize,
+                "entries" => {
+                    let arr = v.as_arr().ok_or("entries must be an array")?;
+                    for e in arr {
+                        report.entries.push(parse_entry(e)?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn parse_entry(v: &json::Value) -> Result<LoadedEntry, String> {
+    let obj = v.as_obj().ok_or("entry must be an object")?;
+    let mut e = LoadedEntry {
+        instance: String::new(),
+        solver: String::new(),
+        threads: 0,
+        n: 0,
+        m: 0,
+        lambda: 0,
+        wall_s: 0.0,
+        reps: 0,
+        pq_pushes: 0,
+        pq_raises: 0,
+        pq_pops: 0,
+    };
+    for (k, v) in obj {
+        match k.as_str() {
+            "instance" => e.instance = v.as_str().unwrap_or_default().to_string(),
+            "solver" => e.solver = v.as_str().unwrap_or_default().to_string(),
+            "threads" => e.threads = v.as_u64() as usize,
+            "n" => e.n = v.as_u64() as usize,
+            "m" => e.m = v.as_u64() as usize,
+            "lambda" => e.lambda = v.as_u64(),
+            "wall_s" => e.wall_s = v.as_f64(),
+            "reps" => e.reps = v.as_u64() as usize,
+            "pq_ops" => {
+                if let Some(ops) = v.as_obj() {
+                    for (k, v) in ops {
+                        match k.as_str() {
+                            "pushes" => e.pq_pushes = v.as_u64(),
+                            "raises" => e.pq_raises = v.as_u64(),
+                            "pops" => e.pq_pops = v.as_u64(),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if e.instance.is_empty() || e.solver.is_empty() {
+        return Err("entry missing instance/solver".into());
+    }
+    Ok(e)
+}
+
+/// Minimal recursive-descent JSON reader, enough for the `BENCH_*.json`
+/// family (this offline build carries no JSON crate).
+mod json {
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        // Booleans never appear in the BENCH schema today, but the
+        // reader stays a complete JSON subset so future fields parse.
+        #[allow(dead_code)]
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> f64 {
+            match self {
+                Value::Num(x) => *x,
+                _ => 0.0,
+            }
+        }
+        pub fn as_u64(&self) -> u64 {
+            self.as_f64() as u64
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape '\\{}'", esc as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw
+                    // bytes (the input is valid UTF-8 by construction).
+                    let start = *pos - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos = start + len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
 /// Peak resident set size of this process in kilobytes — the `VmHWM`
 /// line of `/proc/self/status` on Linux, 0 where unavailable. A proxy,
 /// not an allocator-level measurement: good enough to catch a bench
@@ -223,6 +549,44 @@ mod tests {
         assert!(j.contains("\"scale\":\"tiny\""));
         assert!(j.contains("\"solver\":\"noi-viecut\""));
         assert!(j.contains("\"seq_sort\":4"));
+    }
+
+    #[test]
+    fn report_round_trips_through_loader() {
+        let mut r = BenchReport::new("unit", crate::instances::Scale::Small);
+        let mut e = BenchEntry::named("two_communities_504", "noi-viecut", 2, 504, 9000);
+        e.lambda = 7;
+        e.wall_s = 0.001_25;
+        e.reps = 6;
+        e.pq_pushes = 42;
+        e.pq_raises = 17;
+        e.pq_pops = 42;
+        r.push(e);
+        let mut e = BenchEntry::named("ring_\"quoted\"_☃", "noi-viecut/legacy", 1, 8, 12);
+        e.wall_s = 0.5;
+        r.push(e);
+        let loaded = LoadedReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(loaded.name, "unit");
+        assert_eq!(loaded.scale, "small");
+        assert!(loaded.hardware_threads >= 1);
+        assert_eq!(loaded.entries.len(), 2);
+        let l = &loaded.entries[0];
+        assert_eq!(l.instance, "two_communities_504");
+        assert_eq!(l.solver, "noi-viecut");
+        assert_eq!((l.threads, l.n, l.m), (2, 504, 9000));
+        assert_eq!(l.lambda, 7);
+        assert!((l.wall_s - 0.001_25).abs() < 1e-12);
+        assert_eq!((l.pq_pushes, l.pq_raises, l.pq_pops), (42, 17, 42));
+        // Escapes and non-ASCII survive the round trip.
+        assert_eq!(loaded.entries[1].instance, "ring_\"quoted\"_☃");
+    }
+
+    #[test]
+    fn loader_rejects_malformed_input() {
+        assert!(LoadedReport::from_json("").is_err());
+        assert!(LoadedReport::from_json("[1,2]").is_err());
+        assert!(LoadedReport::from_json("{\"entries\":[{}]}").is_err());
+        assert!(LoadedReport::from_json("{\"name\":\"x\"} trailing").is_err());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! The perf acceptance bar of the SIMD/prefetch PR, kept alive as a
+//! regression test: the committed `results/BENCH_pr8.json` must show a
+//! ≥ 1.15× geometric-mean wall-time speedup over `results/BENCH_pr5.json`
+//! on the clustered `noi-viecut` end-to-end rows, with λ identical on
+//! every joined row. Both baselines are generated on the same machine
+//! (the pr5 file is regenerated from its commit on the measuring box
+//! first — see ROADMAP "Performance" for the protocol), so the committed
+//! pair is internally consistent even though absolute times differ
+//! across machines.
+
+use mincut_bench::report::LoadedReport;
+use std::path::PathBuf;
+
+fn results_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join(name)
+}
+
+#[test]
+fn pr8_baseline_beats_pr5_on_clustered_noi_viecut_rows() {
+    let old = LoadedReport::load(results_path("BENCH_pr5.json")).expect("committed pr5 baseline");
+    let new = LoadedReport::load(results_path("BENCH_pr8.json")).expect("committed pr8 baseline");
+    assert_eq!(
+        old.hardware_threads, new.hardware_threads,
+        "baselines must come from the same machine (regenerate pr5 locally first)"
+    );
+
+    let mut speedups = Vec::new();
+    for oe in old.entries.iter().filter(|e| e.solver == "noi-viecut") {
+        let ne = new
+            .entries
+            .iter()
+            .find(|ne| ne.key() == oe.key())
+            .unwrap_or_else(|| {
+                panic!(
+                    "pr8 baseline lost the row {}/{}/{}t",
+                    oe.instance, oe.solver, oe.threads
+                )
+            });
+        assert_eq!(
+            oe.lambda, ne.lambda,
+            "λ drifted on {} — correctness, not perf",
+            oe.instance
+        );
+        speedups.push(oe.wall_s.max(1e-9) / ne.wall_s.max(1e-9));
+    }
+    assert!(
+        speedups.len() >= 3,
+        "expected the three clustered instances, found {}",
+        speedups.len()
+    );
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    assert!(
+        geomean >= 1.15,
+        "geomean speedup {geomean:.3}x below the 1.15x acceptance bar ({speedups:?})"
+    );
+}

@@ -194,7 +194,20 @@ pub fn capforest_with<P: MaxPq>(
             lambda = alpha as u64;
             best_prefix_len = Some(scratch.order.len());
         }
-        for (y, w) in g.arcs(x) {
+        // Indexed arc-slice walk instead of the zip iterator so the
+        // r/stamp entries of upcoming neighbours can be prefetched a few
+        // arcs ahead — those are the random, latency-bound accesses of
+        // the scan (the arc stream itself is sequential and the hardware
+        // prefetcher covers it). Arc order is unchanged, so the queue
+        // operation stream is bit-identical to the plain loop.
+        let (nbrs, wts) = g.arc_slices(x);
+        const LOOKAHEAD: usize = 8;
+        for j in 0..nbrs.len() {
+            if let Some(&ahead) = nbrs.get(j + LOOKAHEAD) {
+                mincut_ds::simd::prefetch_read(&scratch.stamp, ahead as usize);
+                mincut_ds::simd::prefetch_read(&scratch.r, ahead as usize);
+            }
+            let (y, w) = (nbrs[j], wts[j]);
             let yi = y as usize;
             let ystamp = scratch.stamp[yi];
             if ystamp == done {

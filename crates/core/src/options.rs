@@ -59,12 +59,21 @@ pub struct SolveOptions {
     pub reductions: Reductions,
 }
 
+/// Cached hardware parallelism. `available_parallelism()` re-reads
+/// cgroup limits on every call (~0.5ms in containers) and
+/// `SolveOptions::default()` sits on the per-solve path, so the probe
+/// must run once per process.
+pub(crate) fn hardware_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
 impl Default for SolveOptions {
     fn default() -> Self {
         SolveOptions {
             seed: 0xC0FFEE,
             pq: PqKind::Heap,
-            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            threads: hardware_threads(),
             repetitions: 16,
             epsilon: 0.5,
             initial_bound: None,

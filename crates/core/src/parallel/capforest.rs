@@ -447,7 +447,18 @@ fn worker(
             }
 
             let lam_now = lambda.load(Ordering::Relaxed);
-            for (y, w) in g.arcs(x) {
+            // Same lookahead-prefetch walk as the sequential scan
+            // (capforest.rs): the per-worker r/stamp lookups are the
+            // latency-bound accesses; arc order — and with it the queue
+            // operation stream — is unchanged.
+            let (nbrs, wts) = g.arc_slices(x);
+            const LOOKAHEAD: usize = 8;
+            for j in 0..nbrs.len() {
+                if let Some(&ahead) = nbrs.get(j + LOOKAHEAD) {
+                    mincut_ds::simd::prefetch_read(ws.stamp, ahead as usize);
+                    mincut_ds::simd::prefetch_read(ws.r, ahead as usize);
+                }
+                let (y, w) = (nbrs[j], wts[j]);
                 let yi = y as usize;
                 let fresh = ws.stamp[yi] != epoch;
                 if !fresh && ws.state[yi] != QUEUED {

@@ -52,7 +52,7 @@ impl Default for ParCutConfig {
     fn default() -> Self {
         ParCutConfig {
             pq: PqKind::BQueue,
-            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            threads: crate::options::hardware_threads(),
             use_viecut: true,
             compute_side: true,
             seed: 0xacc5,

@@ -825,7 +825,7 @@ impl MinCutService {
     pub fn run_batch(&self, jobs: &[BatchJob]) -> BatchReport {
         let t0 = Instant::now();
         let workers = match self.config.concurrency {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            0 => crate::options::hardware_threads(),
             w => w,
         }
         .min(jobs.len().max(1));

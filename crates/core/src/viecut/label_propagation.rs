@@ -26,6 +26,16 @@ use rayon::prelude::*;
 /// invisible to callers.
 const FLAT_TALLY_MAX_N: usize = 1 << 16;
 
+/// Below this many arcs the chunked parallel machinery loses outright:
+/// the shim spawns scoped threads per `par_chunks` call and the shared
+/// label array ping-pongs between cores, which measures ~5× slower than
+/// a plain sequential pass at a few thousand vertices on a 2-core box.
+/// Such graphs take [`label_propagation_sequential`] instead — same
+/// visit order, same tally, no atomics — which is also the path the SIMD
+/// label gather needs (a plain `&[u32]` table; gathering through
+/// `AtomicU32`s that other workers may be storing to would be UB).
+const PAR_LP_MIN_ARCS: usize = 1 << 20;
+
 /// The per-vertex tally is a flat epoch-stamped array indexed by label —
 /// one L1-friendly indexed add per arc instead of the hash probe the
 /// previous implementation paid (labels converge to a handful of hot
@@ -36,10 +46,19 @@ const FLAT_TALLY_MAX_N: usize = 1 << 16;
 /// implementation did, so the chosen labels are bit-identical
 /// (`flat_tally_matches_hash_tally` pins this against the frozen baseline
 /// [`label_propagation_hash_tally`]).
+///
+/// Graphs under [`PAR_LP_MIN_ARCS`] run the sequential SIMD path; at one
+/// rayon worker it is bit-identical to the chunked path (chunks run
+/// inline in order there, so both are the same sequential visit order).
 pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<NodeId>, usize) {
     let n = g.n();
     if n == 0 {
         return (Vec::new(), 0);
+    }
+    if n <= FLAT_TALLY_MAX_N
+        && (g.num_arcs() < PAR_LP_MIN_ARCS || rayon::current_num_threads() == 1)
+    {
+        return label_propagation_sequential(g, iterations, seed);
     }
     let labels: Vec<AtomicU32> = (0..n as NodeId).map(AtomicU32::new).collect();
 
@@ -61,7 +80,12 @@ pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<Nod
                 let mut tally: Vec<EdgeWeight> = vec![0; n];
                 let mut stamp: Vec<u32> = vec![0; n];
                 let mut epoch = 0u32;
-                for &v in chunk {
+                for (i, &v) in chunk.iter().enumerate() {
+                    // Pull the next vertex's arc stream into cache while
+                    // this one's tally runs.
+                    if let Some(&next) = chunk.get(i + 1) {
+                        g.prefetch_arcs(next);
+                    }
                     epoch += 1;
                     let mut best_label = labels[v as usize].load(Ordering::Relaxed);
                     let mut best_weight = 0;
@@ -112,6 +136,76 @@ pub fn label_propagation(g: &CsrGraph, iterations: usize, seed: u64) -> (Vec<Nod
     let mut next = 0 as NodeId;
     for v in 0..n {
         let l = labels[v].load(Ordering::Relaxed) as usize;
+        if remap[l] == UNSET {
+            remap[l] = next;
+            next += 1;
+        }
+        out[v] = remap[l];
+    }
+    (out, next as usize)
+}
+
+/// Sequential flat-tally propagation, the small-graph fast path: plain
+/// `u32` labels (no atomics — nothing else writes them), one tally/stamp
+/// scratch pair reused across all iterations with a continuing epoch
+/// counter, the neighbour-label indirection batched through
+/// [`mincut_ds::simd::gather_u32`], and the next vertex's arc stream
+/// prefetched while the current tally runs.
+///
+/// Bit-identity with the chunked path at one worker: the chunked path
+/// runs its chunks inline in order there, which is exactly this visit
+/// order, and the tally updates the running best in identical arc order
+/// (the gather only hoists the label loads — within one vertex's scan no
+/// label can change).
+fn label_propagation_sequential(
+    g: &CsrGraph,
+    iterations: usize,
+    seed: u64,
+) -> (Vec<NodeId>, usize) {
+    let n = g.n();
+    let mut labels: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut tally: Vec<EdgeWeight> = vec![0; n];
+    let mut stamp: Vec<u32> = vec![0; n];
+    let mut gathered: Vec<u32> = Vec::new();
+    let mut epoch = 0u32;
+    for _ in 0..iterations {
+        order = mincut_graph::generators::random_permutation(n, &mut rng)
+            .into_iter()
+            .map(|p| order[p as usize])
+            .collect();
+        for (i, &v) in order.iter().enumerate() {
+            if let Some(&next) = order.get(i + 1) {
+                g.prefetch_arcs(next);
+            }
+            epoch += 1;
+            let (nbrs, wts) = g.arc_slices(v);
+            gathered.resize(nbrs.len(), 0);
+            mincut_ds::simd::gather_u32(&labels, nbrs, &mut gathered);
+            let mut best_label = labels[v as usize];
+            let mut best_weight = 0;
+            for (&lu, &w) in gathered.iter().zip(wts) {
+                let li = lu as usize;
+                let e = if stamp[li] == epoch { tally[li] + w } else { w };
+                tally[li] = e;
+                stamp[li] = epoch;
+                if e > best_weight || (e == best_weight && lu < best_label) {
+                    best_weight = e;
+                    best_label = lu;
+                }
+            }
+            if best_weight > 0 {
+                labels[v as usize] = best_label;
+            }
+        }
+    }
+    const UNSET: NodeId = NodeId::MAX;
+    let mut remap = vec![UNSET; n];
+    let mut out = vec![0 as NodeId; n];
+    let mut next = 0 as NodeId;
+    for v in 0..n {
+        let l = labels[v] as usize;
         if remap[l] == UNSET {
             remap[l] = next;
             next += 1;

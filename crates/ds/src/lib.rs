@@ -26,6 +26,7 @@
 pub mod hash;
 pub mod pq;
 mod sharded_map;
+pub mod simd;
 mod union_find;
 
 pub use sharded_map::{pack_edge, unpack_edge, ShardedMap};

@@ -378,11 +378,11 @@ impl ContractionEngine {
             } else {
                 (&mut self.radix_tmp, &mut self.packed)
             };
-            // Histogram, exclusive prefix sum, stable scatter.
+            // Histogram (SIMD digit extraction — counts are sums, so the
+            // totals are bit-identical to the scalar loop at every
+            // kernel tier), exclusive prefix sum, stable scatter.
             self.hist.iter_mut().for_each(|h| *h = 0);
-            for &(key, _) in src.iter() {
-                self.hist[((key >> shift) as usize) & (RADIX - 1)] += 1;
-            }
+            mincut_ds::simd::radix_histogram16(src, shift, &mut self.hist);
             let mut sum = 0u32;
             for h in self.hist.iter_mut() {
                 let c = *h;

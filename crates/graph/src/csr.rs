@@ -133,6 +133,30 @@ impl CsrGraph {
             .zip(self.neighbor_weights(v).iter().copied())
     }
 
+    /// The `(targets, weights)` CSR rows of `v` as parallel slices — the
+    /// form the `mincut_ds::simd` kernels in the scan/tally hot loops
+    /// consume directly.
+    #[inline]
+    pub fn arc_slices(&self, v: NodeId) -> (&[NodeId], &[EdgeWeight]) {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        (&self.adj[lo..hi], &self.weight[lo..hi])
+    }
+
+    /// Software-prefetches the head of `v`'s CSR rows (targets and
+    /// weights). Hot loops that know which vertex they will scan next
+    /// call this one iteration ahead so the arc stream is already in
+    /// cache when the scan arrives; out-of-range `v` is ignored (a
+    /// prefetch is a hint, never a fault).
+    #[inline]
+    pub fn prefetch_arcs(&self, v: NodeId) {
+        if (v as usize) < self.n() {
+            let lo = self.xadj[v as usize];
+            mincut_ds::simd::prefetch_read(&self.adj, lo);
+            mincut_ds::simd::prefetch_read(&self.weight, lo);
+        }
+    }
+
     /// Iterator over undirected edges `(u, v, w)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeWeight)> + '_ {
         (0..self.n() as NodeId)
@@ -412,11 +436,9 @@ impl CsrGraph {
     fn rebuild_weighted_degrees(&mut self) {
         let n = self.n();
         self.wdeg.clear();
-        self.wdeg.extend((0..n).map(|v| {
-            self.weight[self.xadj[v]..self.xadj[v + 1]]
-                .iter()
-                .sum::<EdgeWeight>()
-        }));
+        self.wdeg.extend(
+            (0..n).map(|v| mincut_ds::simd::sum_u64(&self.weight[self.xadj[v]..self.xadj[v + 1]])),
+        );
     }
 }
 

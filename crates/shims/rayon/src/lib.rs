@@ -38,6 +38,14 @@ fn worker_count(items: usize) -> usize {
     cap.min(items.max(1))
 }
 
+/// Number of workers the shim will spread work across (hardware
+/// parallelism capped by `RAYON_NUM_THREADS`) — API-compatible with
+/// `rayon::current_num_threads`. Hot paths use it to route between
+/// sequential and parallel variants without spawning first.
+pub fn current_num_threads() -> usize {
+    worker_count(usize::MAX)
+}
+
 /// `into_par_iter()` for integer ranges.
 pub trait IntoParallelIterator {
     type ParIter;
