@@ -9,12 +9,14 @@
 //! NOI is already near-linear.
 
 use mincut_bench::instances::{fig2_grid, Scale};
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::runner::{fig2_algorithms, run_avg};
 use mincut_bench::table::Table;
 
 fn main() {
     let scale = Scale::from_env();
     let reps = scale.repetitions();
+    let mut report = BenchReport::new("fig2_rhg", scale);
     println!("== Figure 2: ns/edge on RHG graphs (scale {scale:?}, {reps} reps) ==\n");
     let mut table = Table::new(&[
         "log2_n",
@@ -37,6 +39,11 @@ fn main() {
                 None => reference = Some(value),
                 Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),
             }
+            let mut entry = BenchEntry::named(&inst.name, &algo.solver, algo.threads, g.n(), m);
+            entry.lambda = value;
+            entry.wall_s = secs;
+            entry.reps = reps;
+            report.push(entry);
             let ns_per_edge = secs * 1e9 / m as f64;
             table.row(vec![
                 ne.to_string(),
@@ -50,4 +57,8 @@ fn main() {
         }
     }
     table.emit("fig2_rhg");
+    match report.write() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write report: {e}"),
+    }
 }

@@ -6,12 +6,14 @@
 //! NOIλ̂-Heap, and the VieCut variant over the non-VieCut variant.
 
 use mincut_bench::instances::{realworld_proxies, Scale};
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::runner::{run_avg, BenchSpec};
 use mincut_bench::table::{geometric_mean, Table};
 
 fn main() {
     let scale = Scale::from_env();
     let reps = scale.repetitions();
+    let mut report = BenchReport::new("fig3_realworld", scale);
     println!("== Figure 3: slowdown vs NOIλ̂-Heap-VieCut on real-world proxies ==");
     println!("   (scale {scale:?}, {reps} reps)\n");
 
@@ -59,6 +61,11 @@ fn main() {
         let base = times["NOIλ̂-Heap-VieCut"];
         for algo in &algorithms {
             let secs = times[&algo.to_string()];
+            let mut entry = BenchEntry::named(&inst.name, &algo.solver, algo.threads, g.n(), g.m());
+            entry.lambda = reference.unwrap();
+            entry.wall_s = secs;
+            entry.reps = reps;
+            report.push(entry);
             table.row(vec![
                 inst.name.clone(),
                 g.m().to_string(),
@@ -74,6 +81,10 @@ fn main() {
         speedup_viecut.push(times["NOIλ̂-Heap"] / times["NOIλ̂-Heap-VieCut"]);
     }
     table.emit("fig3_realworld");
+    match report.write() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write report: {e}"),
+    }
 
     println!("\n== §4.2 headline statistics (geometric means) ==");
     println!(

@@ -9,6 +9,7 @@
 //! everywhere.
 
 use mincut_bench::instances::{fig2_grid, realworld_proxies, Scale};
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::runner::{fig2_algorithms, run_avg};
 use mincut_bench::table::Table;
 
@@ -25,6 +26,7 @@ fn main() {
     }
     instances.extend(realworld_proxies(scale));
 
+    let mut report = BenchReport::new("fig4_profile", scale);
     // times[a][i] = seconds of algorithm a on instance i.
     let mut times = vec![Vec::new(); algorithms.len()];
     for inst in &instances {
@@ -41,6 +43,12 @@ fn main() {
                 None => reference = Some(value),
                 Some(r) => assert_eq!(r, value, "exact algorithms disagree on {}", inst.name),
             }
+            let g = &inst.graph;
+            let mut entry = BenchEntry::named(&inst.name, &algo.solver, algo.threads, g.n(), g.m());
+            entry.lambda = value;
+            entry.wall_s = secs;
+            entry.reps = reps;
+            report.push(entry);
             times[ai].push(secs);
         }
     }
@@ -71,4 +79,8 @@ fn main() {
     }
     println!();
     table.emit("fig4_profile");
+    match report.write() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write report: {e}"),
+    }
 }

@@ -5,6 +5,7 @@
 //! largest connected component) and the reported columns are identical.
 
 use mincut_bench::instances::{social_proxy, web_proxy, Scale};
+use mincut_bench::report::{BenchEntry, BenchReport};
 use mincut_bench::table::Table;
 use mincut_core::noi::{noi_minimum_cut, NoiConfig};
 use mincut_graph::kcore::k_core_lcc;
@@ -12,6 +13,7 @@ use mincut_graph::{CsrGraph, NodeId};
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("table1_instances", scale);
     println!("== Table 1: instance statistics (scale {scale:?}) ==");
     println!("   paper columns: graph | n | m | k | core n | core m | λ | δ\n");
     let mut table = Table::new(&[
@@ -27,23 +29,28 @@ fn main() {
     // Social-network proxy (stands in for hollywood-2011 / com-orkut /
     // twitter-2010) with four cores, like the paper's per-graph core sets.
     let ba = social_proxy(ba_n, 42);
-    emit_cores(&mut table, "social-proxy", &ba, &[5, 6, 8, 10]);
+    emit_cores(&mut table, &mut report, "social-proxy", &ba, &[5, 6, 8, 10]);
 
     // Web-graph proxy (stands in for uk-2002 / gsh-2015-host / uk-2007-05).
     let g = web_proxy(rmat_scale, 43);
-    emit_cores(&mut table, "web-proxy", &g, &[4, 8, 16, 30]);
+    emit_cores(&mut table, &mut report, "web-proxy", &g, &[4, 8, 16, 30]);
 
     table.emit("table1_instances");
+    match report.write() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write report: {e}"),
+    }
     println!("\nShape check vs paper: λ is far below δ on most cores (the");
     println!("cores are chosen so the minimum cut is not the trivial one).");
 }
 
-fn emit_cores(table: &mut Table, name: &str, g: &CsrGraph, ks: &[u32]) {
+fn emit_cores(table: &mut Table, report: &mut BenchReport, name: &str, g: &CsrGraph, ks: &[u32]) {
     for &k in ks {
         let (core, _) = k_core_lcc(g, k);
         if core.n() < 8 {
             continue;
         }
+        let t0 = std::time::Instant::now();
         let lambda = noi_minimum_cut(
             &core,
             &NoiConfig {
@@ -52,6 +59,16 @@ fn emit_cores(table: &mut Table, name: &str, g: &CsrGraph, ks: &[u32]) {
             },
         )
         .value;
+        let mut entry = BenchEntry::named(
+            &format!("{name}/k{k}"),
+            "table1/noi-core-lambda",
+            1,
+            core.n(),
+            core.m(),
+        );
+        entry.lambda = lambda;
+        entry.wall_s = t0.elapsed().as_secs_f64();
+        report.push(entry);
         let delta = (0..core.n() as NodeId)
             .map(|v| core.weighted_degree(v))
             .min()

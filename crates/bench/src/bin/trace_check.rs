@@ -1,0 +1,106 @@
+//! `trace-check` — structural validator for the Chrome trace-event JSON
+//! files `mincut --trace-out` emits.
+//!
+//! Checks, per file: the top level is `{"traceEvents": [...]}`; every
+//! event carries a string `name` and `ph`; every `X` (complete) event
+//! carries numeric `ts`, `dur`, `tid`; and on each track the complete
+//! events form a laminar family — two spans on one track either nest or
+//! are disjoint, never partially overlap (RAII span guards guarantee
+//! this, so a violation means exporter corruption). CI runs this on the
+//! trace artifact of a tiny solve.
+//!
+//! Usage: `trace-check <trace.json>...` — exit 0 if every file is
+//! well-formed, 1 otherwise.
+
+use std::process::exit;
+
+use mincut_bench::report::json::{self, Value};
+
+fn check_file(path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let root = json::parse(&text)?;
+    let obj = root.as_obj().ok_or("top level is not an object")?;
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_arr())
+        .ok_or("missing traceEvents array")?;
+
+    // (tid, start, end) of every complete event, for the laminar check.
+    let mut spans: Vec<(u64, f64, f64)> = Vec::new();
+    let mut names = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let fields = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no string name"))?;
+        let ph = get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} ({name}) has no string ph"))?;
+        names += 1;
+        if ph == "X" {
+            let num = |key: &str| -> Result<f64, String> {
+                match get(key) {
+                    Some(Value::Num(x)) => Ok(*x),
+                    _ => Err(format!("event {i} ({name}) has no numeric {key}")),
+                }
+            };
+            let (ts, dur, tid) = (num("ts")?, num("dur")?, num("tid")?);
+            spans.push((tid as u64, ts, ts + dur));
+        }
+    }
+
+    // Laminar check per track: with spans sorted by (start asc, end
+    // desc) a parent precedes its children, so a stack of open end
+    // times catches any partial overlap.
+    spans.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.total_cmp(&b.1))
+            .then(b.2.total_cmp(&a.2))
+    });
+    let mut open: Vec<f64> = Vec::new();
+    let mut track = u64::MAX;
+    for &(tid, start, end) in &spans {
+        if tid != track {
+            open.clear();
+            track = tid;
+        }
+        while let Some(&top) = open.last() {
+            if top <= start {
+                open.pop();
+            } else if top < end {
+                return Err(format!(
+                    "track {tid}: span [{start}, {end}] partially overlaps one ending at {top}"
+                ));
+            } else {
+                break;
+            }
+        }
+        open.push(end);
+    }
+    Ok((names, spans.len()))
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-check <trace.json>...");
+        exit(2)
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok((events, complete)) => {
+                println!("{path}: ok ({events} event(s), {complete} span(s), nesting laminar)");
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    exit(if failed { 1 } else { 0 })
+}

@@ -72,23 +72,20 @@ pub enum Scale {
 
 impl Scale {
     pub fn from_env() -> Scale {
-        match std::env::var("SMC_SCALE").as_deref() {
-            Ok("tiny") => Scale::Tiny,
-            Ok("small") | Err(_) => Scale::Small,
-            Ok("full") => Scale::Full,
-            Ok(other) => {
-                // Warn once per process: a typo'd SMC_SCALE silently
-                // running `small` wastes a full-scale bench session.
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "warning: unrecognized SMC_SCALE value {other:?} \
-                         (expected tiny|small|full); using small"
-                    );
-                });
-                Scale::Small
-            }
-        }
+        // Warn-once on typos (shared `env_knob` contract): a typo'd
+        // SMC_SCALE silently running `small` wastes a bench session.
+        mincut_ds::env_knob(
+            "SMC_SCALE",
+            "tiny|small|full",
+            "small",
+            Scale::Small,
+            |v| match v {
+                "tiny" => Some(Scale::Tiny),
+                "small" => Some(Scale::Small),
+                "full" => Some(Scale::Full),
+                _ => None,
+            },
+        )
     }
 
     /// Repetitions per (instance, algorithm) measurement; the paper uses 5.

@@ -305,8 +305,10 @@ fn parse_entry(v: &json::Value) -> Result<LoadedEntry, String> {
 }
 
 /// Minimal recursive-descent JSON reader, enough for the `BENCH_*.json`
-/// family (this offline build carries no JSON crate).
-mod json {
+/// family (this offline build carries no JSON crate). Public: the
+/// `trace-check` validator and integration tests reuse it to read the
+/// Chrome trace files and stats JSON the stack emits.
+pub mod json {
     #[derive(Debug)]
     pub enum Value {
         Null,
@@ -511,24 +513,26 @@ mod json {
 }
 
 /// Peak resident set size of this process in kilobytes — the `VmHWM`
-/// line of `/proc/self/status` on Linux, 0 where unavailable. A proxy,
-/// not an allocator-level measurement: good enough to catch a bench
-/// regressing from in-cache to swapping between PRs.
+/// line of `/proc/self/status` on Linux, falling back to the current
+/// `VmRSS` on kernels whose procfs omits the high-water mark (some
+/// container runtimes), 0 where neither is available. A proxy, not an
+/// allocator-level measurement: good enough to catch a bench regressing
+/// from in-cache to swapping between PRs.
 pub fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
     };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
+    let read = |prefix: &str| {
+        status.lines().find_map(|line| {
+            line.strip_prefix(prefix)?
                 .trim()
                 .trim_end_matches("kB")
                 .trim()
                 .parse()
-                .unwrap_or(0);
-        }
-    }
-    0
+                .ok()
+        })
+    };
+    read("VmHWM:").or_else(|| read("VmRSS:")).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -166,6 +166,12 @@ pub fn capforest_with<P: MaxPq>(
 ) -> ScanInfo {
     let n = g.n();
     assert!((start as usize) < n);
+    // One span per pass, not per edge: the disabled path is a single
+    // relaxed load, which is what keeps the warm scan allocation-free
+    // (`tests/scan_alloc.rs`) and the `hotpath` bench within noise.
+    let mut _sp = mincut_obs::span("capforest/scan");
+    _sp.arg("n", n);
+    _sp.arg("lambda_hat", lambda_hat);
     scratch.begin_pass(n);
     let seen = scratch.epoch;
     let done = scratch.epoch + 1;

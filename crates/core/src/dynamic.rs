@@ -447,9 +447,24 @@ impl DynamicMinCut {
         }
     }
 
-    /// Applies one trace operation.
+    /// Applies one trace operation, classifying how the maintained
+    /// cactus handled it (stats-counter deltas around the op) into an
+    /// observability instant event plus a flight-recorder entry.
     pub fn apply(&mut self, op: &TraceOp) -> Result<UpdateReport, MinCutError> {
-        match *op {
+        let before = (
+            self.stats.cactus_absorbed,
+            self.stats.cactus_repairs,
+            self.stats.repair_fallbacks,
+            self.stats.cactus_rebuilds,
+        );
+        let (op_name, ou, ov) = match *op {
+            TraceOp::Insert { u, v, .. } => ("insert", Some(u), Some(v)),
+            TraceOp::Delete { u, v } => ("delete", Some(u), Some(v)),
+            TraceOp::Query => ("query", None, None),
+            TraceOp::QueryCount => ("query-count", None, None),
+            TraceOp::QuerySeparating { u, v } => ("query-separating", Some(u), Some(v)),
+        };
+        let result = match *op {
             TraceOp::Insert { u, v, w } => self.insert_edge(u, v, w),
             TraceOp::Delete { u, v } => self.delete_edge(u, v),
             TraceOp::Query => {
@@ -467,7 +482,42 @@ impl DynamicMinCut {
                 self.stats.queries += 1;
                 Ok(self.report(false))
             }
+        };
+        // Which cactus-maintenance path the op took, from the counter
+        // deltas. A repair fallback also bumps `cactus_rebuilds`, so
+        // the fallback test precedes the rebuild test.
+        let cactus = if self.stats.cactus_absorbed > before.0 {
+            "absorb"
+        } else if self.stats.cactus_repairs > before.1 {
+            "repair"
+        } else if self.stats.repair_fallbacks > before.2 {
+            "fallback-rebuild"
+        } else if self.stats.cactus_rebuilds > before.3 {
+            "rebuild"
+        } else {
+            "none"
+        };
+        match &result {
+            Ok(report) => {
+                let mut ev = mincut_obs::instant("dynamic/update")
+                    .arg("op", op_name)
+                    .arg("lambda", report.lambda)
+                    .arg("resolved", report.resolved)
+                    .arg("cactus", cactus);
+                if let (Some(u), Some(v)) = (ou, ov) {
+                    ev = ev.arg("u", u).arg("v", v);
+                }
+                drop(ev);
+                mincut_obs::flight().record(
+                    "dynamic",
+                    format!("{op_name} -> lambda {} (cactus: {cactus})", report.lambda),
+                );
+            }
+            Err(e) => {
+                mincut_obs::flight().record("dynamic", format!("{op_name} failed: {e}"));
+            }
         }
+        result
     }
 
     /// Inserts the edge `{u, v}` with weight `w` and updates `(λ,
@@ -771,6 +821,11 @@ impl DynamicMinCut {
             }
             Err(e) => {
                 self.poisoned = Some(e.to_string());
+                mincut_obs::flight().record(
+                    "dynamic",
+                    format!("maintainer poisoned by failed re-solve: {e}"),
+                );
+                mincut_obs::flight().dump_to_stderr("dynamic maintainer poisoning");
                 Err(e)
             }
         }

@@ -154,6 +154,10 @@ pub(crate) fn noi_minimum_cut_connected(
     while current.n() > 2 {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
+        let mut round_span = mincut_obs::span("noi/round");
+        round_span.arg("round", ctx.stats.rounds);
+        round_span.arg("n", current.n());
+        round_span.arg("lambda_hat", lambda);
         let start = rng.gen_range(0..current.n() as NodeId);
         let info = ws.scan(&current, lambda, start, cfg.pq, cfg.bounded);
         ctx.stats.add_pq_ops(ws.take_ops());
@@ -175,6 +179,7 @@ pub(crate) fn noi_minimum_cut_connected(
             // guarantee: its cut-of-phase is recorded and its last pair is
             // always safely contractible.
             ctx.stats.sw_rescues += 1;
+            round_span.arg("sw_rescue", true);
             let phase = stoer_wagner_phase(&current, start);
             if phase.cut_of_phase < lambda {
                 lambda = phase.cut_of_phase;
@@ -195,6 +200,7 @@ pub(crate) fn noi_minimum_cut_connected(
             engine.contract(&current, &labels_buf, blocks)
         };
         ctx.stats.record_contraction_path(engine.last_path());
+        round_span.arg_display("path", engine.last_path());
         engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the contracted graph (§3.2: "If the collapsed

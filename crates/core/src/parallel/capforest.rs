@@ -190,6 +190,20 @@ pub fn parallel_capforest_pooled(
                         .wrapping_add(tid as u64)
                         .wrapping_mul(0x9e37_79b9_7f4a_7c15);
                     scope.spawn(move || {
+                        // Per-worker span pinned to a named track: the
+                        // scoped threads are fresh every round, so
+                        // per-OS-thread tracks would multiply by round
+                        // count; one stable lane per logical worker
+                        // keeps the exported trace readable.
+                        let mut _wsp = mincut_obs::span("parcut/worker-scan");
+                        if _wsp.is_recording() {
+                            _wsp.pin_track(mincut_obs::named_track(&format!(
+                                "parcut-worker-{tid}"
+                            )));
+                        }
+                        _wsp.arg("worker", tid);
+                        _wsp.arg("n", n);
+                        _wsp.arg("lambda_hat", lambda_hat);
                         ws.begin_round(n);
                         // Split the borrow: queues out of the scratch view.
                         let ParWorkerState {

@@ -145,6 +145,11 @@ pub(crate) fn parallel_minimum_cut_connected(
     while current.n() > 2 {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
+        let mut round_span = mincut_obs::span("parcut/round");
+        round_span.arg("round", ctx.stats.rounds);
+        round_span.arg("n", current.n());
+        round_span.arg("lambda_hat", lambda);
+        round_span.arg("threads", cfg.threads);
         let out =
             parallel_capforest_pooled(&current, lambda, cfg.threads, cfg.seed, cfg.pq, &mut pool);
         ctx.stats.add_pq_ops(out.pq_ops);
@@ -197,6 +202,7 @@ pub(crate) fn parallel_minimum_cut_connected(
             engine.contract(&current, &labels, blocks)
         };
         ctx.stats.record_contraction_path(engine.last_path());
+        round_span.arg_display("path", engine.last_path());
         engine.recycle(std::mem::replace(&mut current, next));
 
         // Trivial cuts of the collapsed graph (§3.2).

@@ -461,7 +461,15 @@ impl ReductionPipeline {
                 ctx.check_budget()?;
                 let t0 = Instant::now();
                 let before = (state.graph.n(), state.graph.m());
+                let mut pass_span = mincut_obs::span("reduce/pass");
+                pass_span.arg("pass", pass.name());
+                pass_span.arg("n", before.0);
+                pass_span.arg("m", before.1);
+                pass_span.arg("lambda_hat", state.lambda);
                 contracted |= pass.apply(&mut state);
+                pass_span.arg("vertices_removed", before.0 - state.graph.n());
+                pass_span.arg("edges_removed", before.1 - state.graph.m());
+                drop(pass_span);
                 ps.rounds += 1;
                 ps.vertices_removed += (before.0 - state.graph.n()) as u64;
                 ps.edges_removed += (before.1 - state.graph.m()) as u64;

@@ -400,10 +400,12 @@ impl CutCache {
         match found {
             Some(hit) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                mincut_obs::metrics().counter("service.cache.hits").inc();
                 Some(hit)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                mincut_obs::metrics().counter("service.cache.misses").inc();
                 None
             }
         }
@@ -444,6 +446,9 @@ impl CutCache {
     fn invalidate(&self, fingerprint: u64, config: &str) {
         if self.map.remove(&Self::key(fingerprint, config)).is_some() {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
+            mincut_obs::metrics()
+                .counter("service.cache.invalidations")
+                .inc();
         }
     }
 
@@ -649,6 +654,9 @@ impl MinCutService {
                 .is_some()
             {
                 self.cache.invalidations.fetch_add(1, Ordering::Relaxed);
+                mincut_obs::metrics()
+                    .counter("service.cache.invalidations")
+                    .inc();
             }
             drop(maintainer);
             // Skips poisoned maintainers internally (check_consistent).
@@ -711,10 +719,12 @@ impl MinCutService {
             if let Some(cactus) = self.cacti.get_cloned(&key) {
                 if cactus.n() == g.n() && cactus.lambda() == maintainer.lambda() {
                     self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    mincut_obs::metrics().counter("service.cache.hits").inc();
                     return Ok((cactus, true));
                 }
             }
             self.cache.misses.fetch_add(1, Ordering::Relaxed);
+            mincut_obs::metrics().counter("service.cache.misses").inc();
         }
         let cactus = Arc::new(
             maintainer
@@ -829,6 +839,9 @@ impl MinCutService {
             w => w,
         }
         .min(jobs.len().max(1));
+        let mut batch_span = mincut_obs::span("service/batch");
+        batch_span.arg("jobs", jobs.len());
+        batch_span.arg("workers", workers);
 
         let state = BatchState {
             jobs,
@@ -872,6 +885,14 @@ impl MinCutService {
                 JobStatus::Skipped { .. } => stats.skipped += 1,
             }
         }
+        let m = mincut_obs::metrics();
+        m.counter("service.batch.runs").inc();
+        m.counter("service.batch.jobs").add(stats.jobs as u64);
+        m.counter("service.batch.solved").add(stats.solved as u64);
+        m.counter("service.batch.failed").add(stats.failed as u64);
+        m.counter("service.batch.skipped").add(stats.skipped as u64);
+        batch_span.arg("solved", stats.solved);
+        batch_span.arg("failed", stats.failed);
         BatchReport {
             jobs: reports,
             stats,
@@ -886,9 +907,20 @@ impl MinCutService {
             if i >= state.jobs.len() {
                 return;
             }
+            let mut job_span = mincut_obs::span("service/job");
+            job_span.arg("index", i);
             let report = self.execute(i, &state.jobs[i], state);
-            if matches!(report.status, JobStatus::Failed(_)) {
+            job_span.arg_display("solver", &report.solver);
+            drop(job_span);
+            mincut_obs::metrics()
+                .histogram("service.job.micros")
+                .record((report.seconds * 1e6) as u64);
+            if let JobStatus::Failed(e) = &report.status {
                 state.failed.store(true, Ordering::Relaxed);
+                mincut_obs::flight().record(
+                    "service",
+                    format!("batch job {} ({}) failed: {e}", report.index, report.label),
+                );
             }
             *state.results[i].lock().unwrap() = Some(report);
         }

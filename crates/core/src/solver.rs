@@ -137,6 +137,12 @@ fn solve_impl<S: Solver + ?Sized>(
     opts.validate()?;
     let t0 = Instant::now();
     let mut stats = SolverStats::new(solver.instance_name(opts), g.n(), g.m());
+    // The root span of the solve; phase spans (reduce, rounds, scans)
+    // nest underneath on the same track.
+    let mut solve_span = mincut_obs::span("solve");
+    solve_span.arg_display("algorithm", &stats.algorithm);
+    solve_span.arg("n", g.n());
+    solve_span.arg("m", g.m());
 
     if g.n() < 2 {
         return Err(MinCutError::TooFewVertices { n: g.n() });
@@ -190,10 +196,20 @@ fn solve_impl<S: Solver + ?Sized>(
         None => solver.run(g, opts, &mut ctx),
         Some(red) => finish_with_kernel(solver, g, opts, red, &mut ctx),
     };
-    let cut = result?;
+    let cut = match result {
+        Ok(cut) => cut,
+        Err(e) => {
+            mincut_obs::flight().record(
+                "solver",
+                format!("{} failed on n={} m={}: {e}", stats.algorithm, g.n(), g.m()),
+            );
+            return Err(e);
+        }
+    };
 
     stats.record_lambda(cut.value);
     stats.total_seconds = t0.elapsed().as_secs_f64();
+    solve_span.arg("lambda", cut.value);
     Ok(SolveOutcome { cut, stats })
 }
 

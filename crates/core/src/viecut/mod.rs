@@ -130,6 +130,10 @@ pub(crate) fn viecut_connected(
     while current.n() > cfg.exact_threshold {
         ctx.check_budget()?;
         ctx.stats.rounds += 1;
+        let mut level_span = mincut_obs::span("viecut/level");
+        level_span.arg("level", ctx.stats.rounds);
+        level_span.arg("n", current.n());
+        level_span.arg("lambda_hat", lambda);
         let n_before = current.n();
         // (1) cluster.
         let (labels, clusters) = label_propagation(&current, cfg.lp_iterations, level_seed);
@@ -179,6 +183,8 @@ pub(crate) fn viecut_connected(
     // trajectory concerns the collapsed graph and would pollute ours,
     // but its work counters are ours.
     if current.n() >= 2 {
+        let mut remainder_span = mincut_obs::span("viecut/exact-remainder");
+        remainder_span.arg("n", current.n());
         let mut nested = SolverStats::scratch();
         let exact = {
             let mut inner = SolveContext {

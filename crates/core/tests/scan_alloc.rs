@@ -80,6 +80,15 @@ fn assert_scan_allocation_free<P: MaxPq>(g: &CsrGraph, bound: u64, label: &str) 
 
 #[test]
 fn warm_capforest_scan_performs_zero_allocations() {
+    // The scan now opens a `capforest/scan` span unconditionally; with
+    // tracing off (the default — this binary never enables it) that
+    // span must cost one relaxed load and allocate nothing, or every
+    // assertion below would count its events. This is the disabled-path
+    // zero-overhead contract of `mincut_obs`.
+    assert!(
+        !mincut_obs::tracing_enabled(),
+        "tracing must stay disabled in the allocation test binary"
+    );
     let (g, _) = known::two_communities(40, 44, 2, 3, 1);
     let bound = g.min_weighted_degree().unwrap().1;
     assert_scan_allocation_free::<BStackPq>(&g, bound, "bstack");

@@ -23,12 +23,14 @@
 //! queue instance serves every CAPFOREST pass of a solve without clearing
 //! or reallocating (see the `pq` module docs for the layout).
 
+pub mod env_knob;
 pub mod hash;
 pub mod pq;
 mod sharded_map;
 pub mod simd;
 mod union_find;
 
+pub use env_knob::env_knob;
 pub use sharded_map::{pack_edge, unpack_edge, ShardedMap};
 pub use union_find::{ConcurrentUnionFind, UnionFind};
 

@@ -99,22 +99,22 @@ pub fn detected_tier() -> SimdTier {
 }
 
 /// Tier selected by the `SMC_SIMD` environment knob (cached on first
-/// use; unrecognized values warn to stderr once and mean `native`).
+/// use; unrecognized values warn to stderr once — via the shared
+/// [`crate::env_knob`] contract — and mean `native`).
 fn env_tier() -> SimdTier {
     static ENV: OnceLock<SimdTier> = OnceLock::new();
-    *ENV.get_or_init(|| match std::env::var("SMC_SIMD") {
-        Ok(v) if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("scalar") => {
-            SimdTier::Scalar
-        }
-        Ok(v) if v.eq_ignore_ascii_case("native") => detected_tier(),
-        Ok(v) if !v.is_empty() => {
-            eprintln!(
-                "warning: unrecognized SMC_SIMD value {v:?} (expected off|scalar|native); \
-                 using native"
-            );
-            detected_tier()
-        }
-        _ => detected_tier(),
+    *ENV.get_or_init(|| {
+        crate::env_knob(
+            "SMC_SIMD",
+            "off|scalar|native",
+            "native",
+            detected_tier(),
+            |v| match v {
+                "off" | "scalar" => Some(SimdTier::Scalar),
+                "native" => Some(detected_tier()),
+                _ => None,
+            },
+        )
     })
 }
 

@@ -26,6 +26,10 @@ use crate::residual::Residual;
 pub fn dinic_max_flow(g: &CsrGraph, s: NodeId, t: NodeId) -> (EdgeWeight, Residual) {
     assert_ne!(s, t, "source and sink must differ");
     assert!((s as usize) < g.n() && (t as usize) < g.n());
+    let mut _sp = mincut_obs::span("flow/dinic");
+    _sp.arg("n", g.n());
+    _sp.arg("s", s);
+    _sp.arg("t", t);
     let mut net = Residual::new(g);
     let n = net.n();
     let mut value: EdgeWeight = 0;

@@ -276,6 +276,9 @@ impl Ho {
 pub fn hao_orlin(g: &CsrGraph) -> HaoOrlinResult {
     let n = g.n();
     assert!(n >= 2, "minimum cut needs at least two vertices");
+    let mut _sp = mincut_obs::span("flow/hao_orlin");
+    _sp.arg("n", n);
+    _sp.arg("m", g.m());
     let mut ho = Ho::new(g);
 
     // Source: vertex 0, lifted to level n.

@@ -45,6 +45,18 @@ use rayon::prelude::*;
 use crate::partition::Membership;
 use crate::{CsrGraph, EdgeWeight, NodeId};
 
+/// Opens the `contract/round` span every accumulation path records,
+/// annotated with the chosen path and the round's shape. Inert (one
+/// relaxed load) when tracing is off.
+fn round_span(path: &'static str, g: &CsrGraph, num_blocks: usize) -> mincut_obs::SpanGuard {
+    let mut sp = mincut_obs::span("contract/round");
+    sp.arg("path", path);
+    sp.arg("n", g.n());
+    sp.arg("arcs", g.num_arcs());
+    sp.arg("blocks", num_blocks);
+    sp
+}
+
 /// Which accumulation strategy a contraction round took; reported by
 /// [`ContractionEngine::last_path`] so solvers can log it per round
 /// (`SolverStats::contraction_paths`) and bench output can attribute
@@ -216,6 +228,7 @@ impl ContractionEngine {
         assert_eq!(labels.len(), g.n());
         debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
         self.last_path = ContractionPath::SeqMatrix;
+        let mut _sp = round_span("seq-matrix", g, num_blocks);
         // The harvest sweep below re-zeroes every cell it reads as
         // non-zero, so between rounds the buffer is all zeros and only
         // growth needs initialisation.
@@ -281,6 +294,7 @@ impl ContractionEngine {
         assert_eq!(labels.len(), g.n());
         debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
         self.last_path = ContractionPath::SeqHash;
+        let mut _sp = round_span("seq-hash", g, num_blocks);
         self.acc.clear();
         for u in 0..g.n() as NodeId {
             let lu = labels[u as usize];
@@ -316,6 +330,7 @@ impl ContractionEngine {
         assert_eq!(labels.len(), g.n());
         debug_assert!(labels.iter().all(|&l| (l as usize) < num_blocks));
         self.last_path = ContractionPath::SeqSort;
+        let mut _sp = round_span("seq-sort", g, num_blocks);
         self.packed.clear();
         // OR-mask of every key, so constant digits skip their sort pass.
         let mut key_mask = 0u64;
@@ -422,6 +437,7 @@ impl ContractionEngine {
             return self.contract_sequential(g, labels, num_blocks);
         }
         self.last_path = ContractionPath::Parallel;
+        let mut _sp = round_span("parallel", g, num_blocks);
         // Take the shared table out of `self` so the borrow checker lets
         // the epilogue refill `self.packed`; it goes back (drained, with
         // its capacity) right after.

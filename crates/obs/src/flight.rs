@@ -1,0 +1,151 @@
+//! The flight recorder: a fixed-size ring of recent structured events
+//! for post-mortems.
+//!
+//! Error reports from a long-lived process ("solver failed", "maintainer
+//! poisoned") are useless without the operations that led up to them.
+//! The flight recorder keeps the last [`CAPACITY`] coarse events —
+//! dynamic updates, batch jobs, resolves — in a fixed-size ring and
+//! error paths dump it to stderr ([`FlightRecorder::dump_to_stderr`]).
+//!
+//! Unlike spans it is always on: recording happens only at coarse call
+//! sites (per update / per job, never inside scan loops), costs one
+//! short critical section, and memory is bounded by the ring.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Ring capacity: enough context to reconstruct how a maintainer or a
+/// batch got into a bad state, small enough to never matter.
+pub const CAPACITY: usize = 128;
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Monotone per-process sequence number (total events ever
+    /// recorded when this one was, starting at 1).
+    pub seq: u64,
+    /// Coarse subsystem tag (`"dynamic"`, `"service"`, `"solver"`, …).
+    pub category: &'static str,
+    pub message: String,
+}
+
+struct Ring {
+    buf: Vec<FlightEvent>,
+    /// Next write position once the ring is full.
+    next: usize,
+    /// Total events ever recorded.
+    total: u64,
+}
+
+/// The process-wide recorder (see [`flight`]).
+pub struct FlightRecorder {
+    inner: Mutex<Ring>,
+}
+
+/// The process-wide [`FlightRecorder`].
+pub fn flight() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder {
+        inner: Mutex::new(Ring {
+            buf: Vec::with_capacity(CAPACITY),
+            next: 0,
+            total: 0,
+        }),
+    })
+}
+
+impl FlightRecorder {
+    /// Records one event, evicting the oldest when the ring is full.
+    pub fn record(&self, category: &'static str, message: impl Into<String>) {
+        let mut r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        r.total += 1;
+        let ev = FlightEvent {
+            seq: r.total,
+            category,
+            message: message.into(),
+        };
+        if r.buf.len() < CAPACITY {
+            r.buf.push(ev);
+        } else {
+            let next = r.next;
+            r.buf[next] = ev;
+            r.next = (next + 1) % CAPACITY;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<FlightEvent> {
+        let r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = Vec::with_capacity(r.buf.len());
+        if r.buf.len() < CAPACITY {
+            out.extend(r.buf.iter().cloned());
+        } else {
+            out.extend(r.buf[r.next..].iter().cloned());
+            out.extend(r.buf[..r.next].iter().cloned());
+        }
+        out
+    }
+
+    /// Total events ever recorded (retained or evicted).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).total
+    }
+
+    /// Empties the ring (tests; the sequence numbering continues).
+    pub fn clear(&self) {
+        let mut r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        r.buf.clear();
+        r.next = 0;
+    }
+
+    /// Dumps the retained events to stderr under a `context` header —
+    /// the error-path post-mortem. Silent when nothing was recorded.
+    pub fn dump_to_stderr(&self, context: &str) {
+        let events = self.recent();
+        if events.is_empty() {
+            return;
+        }
+        eprintln!(
+            "flight recorder: last {} event(s) before {context}:",
+            events.len()
+        );
+        for ev in events {
+            eprintln!("  [#{:>6}] {:<8} {}", ev.seq, ev.category, ev.message);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_in_order() {
+        // A private recorder so the test does not race the global one.
+        let r = FlightRecorder {
+            inner: Mutex::new(Ring {
+                buf: Vec::with_capacity(CAPACITY),
+                next: 0,
+                total: 0,
+            }),
+        };
+        for i in 0..CAPACITY + 10 {
+            r.record("test", format!("event {i}"));
+        }
+        let events = r.recent();
+        assert_eq!(events.len(), CAPACITY);
+        assert_eq!(r.total(), (CAPACITY + 10) as u64);
+        // Oldest retained is event 10; newest is the last recorded.
+        assert_eq!(events.first().unwrap().message, "event 10");
+        assert_eq!(
+            events.last().unwrap().message,
+            format!("event {}", CAPACITY + 9)
+        );
+        // Sequence numbers are monotone.
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+
+        r.clear();
+        assert!(r.recent().is_empty());
+        r.record("test", "after clear");
+        assert_eq!(r.recent()[0].seq, (CAPACITY + 11) as u64);
+    }
+}

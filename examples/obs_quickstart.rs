@@ -1,0 +1,56 @@
+//! Observability quickstart: enable span tracing, run a solve, export a
+//! Chrome trace file (open it in Perfetto or chrome://tracing), read a
+//! metrics snapshot, and peek at the flight recorder.
+//!
+//! Run with: `cargo run --release --example obs_quickstart`
+//!
+//! The same data is reachable from the CLI without writing any code:
+//! `mincut --trace-out trace.json --metrics-out metrics.prom <GRAPH>`,
+//! or set `SMC_TRACE=on` to collect spans without exporting.
+
+use sm_mincut::graph::generators::known;
+use sm_mincut::{obs, Session, SolveOptions};
+
+fn main() {
+    // 1. Spans are off by default: a disabled span is one relaxed
+    //    atomic load, so the hot paths carry them unconditionally.
+    //    Turn collection on for this process.
+    obs::set_tracing(true);
+
+    let (g, _) = known::two_communities(60, 60, 2, 2, 1);
+    let outcome = Session::new(&g)
+        .options(SolveOptions::new().seed(42))
+        .run("noi-viecut")
+        .expect("solve");
+    println!("lambda = {}", outcome.cut.value);
+
+    // 2. Your own spans nest with the solver's on the same track.
+    {
+        let mut span = obs::span("example/postprocess");
+        span.arg("lambda", outcome.cut.value);
+        span.arg_display("algorithm", &outcome.stats.algorithm);
+    } // recorded when the guard drops
+
+    // 3. Export everything recorded so far as Chrome trace-event JSON.
+    let path = std::env::temp_dir().join("obs_quickstart_trace.json");
+    let events = obs::export_chrome_trace(&path).expect("write trace");
+    println!("wrote {events} trace event(s) to {}", path.display());
+    println!("  -> open in https://ui.perfetto.dev or chrome://tracing");
+
+    // 4. Metrics: named counters / gauges / log2 histograms, shared
+    //    process-wide. The service layer feeds cache and batch metrics
+    //    into the same registry.
+    let m = obs::metrics();
+    m.counter("example.solves").inc();
+    m.histogram("example.solve_micros")
+        .record((outcome.stats.total_seconds * 1e6) as u64);
+    println!("\nPrometheus exposition:\n{}", m.snapshot().to_prometheus());
+
+    // 5. The flight recorder keeps the last 128 structured events and
+    //    is always on; error paths dump it so the context survives.
+    obs::flight().record("example", format!("finished, λ = {}", outcome.cut.value));
+    println!(
+        "flight recorder holds {} event(s) total",
+        obs::flight().total()
+    );
+}

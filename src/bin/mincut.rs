@@ -40,6 +40,8 @@ struct Options {
     jobs: usize,
     fail_fast: bool,
     cactus: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     print_side: bool,
     print_edges: bool,
     print_stats: bool,
@@ -91,6 +93,13 @@ OPTIONS:
                           cycle / bridge structure) instead of one cut;
                           with --stream, maintain it across the trace and
                           answer qc/qs queries (not available in --batch)
+      --trace-out <FILE>  record spans across the run and write a Chrome
+                          trace-event JSON file (open in Perfetto or
+                          chrome://tracing); implies tracing on — without
+                          this flag, SMC_TRACE=on records to memory only
+      --metrics-out <FILE> write the metrics-registry snapshot on exit:
+                          Prometheus text if FILE ends in .prom or .txt,
+                          JSON otherwise
       --side              print one side of the optimal cut
       --edges             print the cut edge set
       --list              list registered solvers and exit
@@ -138,6 +147,8 @@ fn parse_args() -> Options {
         jobs: 0,
         fail_fast: false,
         cactus: false,
+        trace_out: None,
+        metrics_out: None,
         print_side: false,
         print_edges: false,
         print_stats: false,
@@ -230,6 +241,8 @@ fn parse_args() -> Options {
             },
             "--fail-fast" => opts.fail_fast = true,
             "--cactus" => opts.cactus = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--stats" => opts.print_stats = true,
             "--side" => opts.print_side = true,
             "--edges" => opts.print_edges = true,
@@ -281,6 +294,35 @@ fn parse_args() -> Options {
         usage()
     }
     opts
+}
+
+/// Writes the observability artifacts (`--trace-out`, `--metrics-out`)
+/// and exits. Every post-argument-parsing exit funnels through here so
+/// traces and metrics survive failures too — that is when they matter.
+fn finish(cli: &Options, code: i32) -> ! {
+    if let Some(path) = &cli.trace_out {
+        match sm_mincut::obs::export_chrome_trace(path) {
+            Ok(n) => eprintln!("trace: wrote {n} event(s) to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        let snap = sm_mincut::obs::metrics().snapshot();
+        let text = if path.ends_with(".prom") || path.ends_with(".txt") {
+            snap.to_prometheus()
+        } else {
+            snap.to_json() + "\n"
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            exit(1)
+        }
+        eprintln!("metrics: wrote snapshot to {path}");
+    }
+    exit(code)
 }
 
 fn try_load_graph(path: &str) -> Result<CsrGraph, String> {
@@ -462,7 +504,7 @@ fn run_batch_mode(cli: &Options, manifest_path: &str) -> ! {
         }
     }
     eprintln!("batch: {}", report.stats.to_json());
-    exit(if any_failed { 1 } else { 0 })
+    finish(cli, if any_failed { 1 } else { 0 })
 }
 
 /// Dynamic stream mode: replay an edge-update trace against the graph
@@ -478,8 +520,10 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
     let ops = match parse_trace(std::io::BufReader::new(trace), g.n()) {
         Ok(ops) => ops,
         Err(e) => {
+            sm_mincut::obs::flight().record("cli", format!("trace {trace_path} rejected: {e}"));
+            sm_mincut::obs::flight().dump_to_stderr("trace parse rejection");
             eprintln!("error: failed to parse {trace_path}: {e}");
-            exit(1)
+            finish(cli, 1)
         }
     };
 
@@ -503,7 +547,8 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
             json_str(&e.to_string())
         );
         eprintln!("error: update {index} failed: {e}");
-        exit(1)
+        sm_mincut::obs::flight().dump_to_stderr("dynamic update failure");
+        finish(cli, 1)
     };
     let mut index = 0;
     while index < ops.len() {
@@ -574,7 +619,7 @@ fn run_stream_mode(cli: &Options, trace_path: &str) -> ! {
         .dynamic_stats(handle)
         .expect("handle registered above");
     eprintln!("stream: {}", stats.to_json());
-    exit(0)
+    finish(cli, 0)
 }
 
 /// Single-graph cactus mode: build the cactus of all minimum cuts
@@ -588,7 +633,8 @@ fn run_cactus_mode(cli: &Options, g: &CsrGraph) -> ! {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: cactus construction failed: {e}");
-            exit(1)
+            sm_mincut::obs::flight().dump_to_stderr("cactus construction failure");
+            finish(cli, 1)
         }
     };
     let s = cactus.stats();
@@ -604,11 +650,19 @@ fn run_cactus_mode(cli: &Options, g: &CsrGraph) -> ! {
         s.build_seconds
     );
     println!("{}", cactus.to_json());
-    exit(0)
+    finish(cli, 0)
 }
 
 fn main() {
     let cli = parse_args();
+
+    // --trace-out forces span collection on; otherwise the SMC_TRACE
+    // knob decides (events stay in memory unless a later mode exports).
+    if cli.trace_out.is_some() {
+        sm_mincut::obs::set_tracing(true);
+    } else {
+        sm_mincut::obs::init_from_env();
+    }
 
     // Resolve the solver before the (possibly large) graph load so name
     // typos fail fast, as a usage error.
@@ -637,11 +691,12 @@ fn main() {
         Ok(o) => o,
         Err(e @ MinCutError::TooFewVertices { .. }) => {
             eprintln!("error: {e}");
-            exit(1)
+            finish(&cli, 1)
         }
         Err(e) => {
             eprintln!("error: solver failed: {e}");
-            exit(1)
+            sm_mincut::obs::flight().dump_to_stderr("solver failure");
+            finish(&cli, 1)
         }
     };
 
@@ -652,7 +707,7 @@ fn main() {
     println!("lambda {}", outcome.cut.value);
     if !outcome.cut.verify(&g) {
         eprintln!("internal error: witness failed verification");
-        exit(1);
+        finish(&cli, 1)
     }
     if cli.print_stats {
         // Per-pass kernelization lines (diagnostics → stderr; the JSON on
@@ -689,4 +744,5 @@ fn main() {
             }
         }
     }
+    finish(&cli, 0)
 }

@@ -93,6 +93,7 @@ pub use mincut_core as algorithms;
 pub use mincut_ds as ds;
 pub use mincut_flow as flow;
 pub use mincut_graph as graph;
+pub use mincut_obs as obs;
 
 // The names a typical user needs, flattened.
 pub use mincut_core::{

@@ -1,0 +1,104 @@
+//! End-to-end observability check: a real `mincut --stream` run over
+//! the hand-verified `tests/data/barbell.trace` with `--trace-out` must
+//! produce a Chrome trace whose `dynamic/update` instant events carry
+//! exactly the λ values and cactus-maintenance classifications of the
+//! repair table in `tests/data/README.md`. This pins the whole chain —
+//! dynamic classification detection, the span sink, the exporter's JSON
+//! — to the same ground truth the dynamic unit tests use.
+
+use mincut_bench::report::json::{self, Value};
+
+fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[test]
+fn stream_trace_matches_hand_verified_repair_table() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let out = tempfile_path("barbell_stream_trace.json");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_mincut"))
+        .args([
+            "--stream",
+            &format!("{root}/tests/data/barbell.trace"),
+            &format!("{root}/tests/data/barbell.txt"),
+            "--cactus",
+            "--trace-out",
+            out.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run the mincut binary");
+    assert!(status.success(), "stream run failed");
+
+    let text = std::fs::read_to_string(&out).expect("trace file written");
+    let _ = std::fs::remove_file(&out);
+    let parsed = json::parse(&text).expect("trace is valid JSON");
+    let events = parsed
+        .as_obj()
+        .and_then(|o| field(o, "traceEvents"))
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+
+    // (op, lambda, cactus action) per trace line, from the table in
+    // tests/data/README.md: q / i 0 3 2 / d 3 4 / q / d 4 5 / i 3 4 5 / q.
+    let expected = [
+        ("query", 1, "none"),
+        ("insert", 2, "fallback-rebuild"),
+        ("delete", 1, "repair"),
+        ("query", 1, "none"),
+        ("delete", 0, "fallback-rebuild"),
+        ("insert", 1, "fallback-rebuild"),
+        ("query", 1, "none"),
+    ];
+
+    let updates: Vec<&[(String, Value)]> = events
+        .iter()
+        .filter_map(Value::as_obj)
+        .filter(|e| field(e, "name").and_then(Value::as_str) == Some("dynamic/update"))
+        .collect();
+    assert_eq!(
+        updates.len(),
+        expected.len(),
+        "one dynamic/update event per trace op"
+    );
+    for (i, (ev, (op, lambda, cactus))) in updates.iter().zip(&expected).enumerate() {
+        let args = field(ev, "args").and_then(Value::as_obj).expect("args");
+        assert_eq!(
+            field(args, "op").and_then(Value::as_str),
+            Some(*op),
+            "op of update {i}"
+        );
+        assert_eq!(
+            field(args, "lambda").map(Value::as_u64),
+            Some(*lambda),
+            "lambda after update {i}"
+        );
+        assert_eq!(
+            field(args, "cactus").and_then(Value::as_str),
+            Some(*cactus),
+            "cactus action of update {i}"
+        );
+        assert_eq!(
+            field(ev, "ph").and_then(Value::as_str),
+            Some("i"),
+            "dynamic/update is an instant event"
+        );
+    }
+
+    // The solver spans of the initial solve and the re-solves must be
+    // in the same trace (the stream registers through the service).
+    let has_solve = events
+        .iter()
+        .filter_map(Value::as_obj)
+        .any(|e| field(e, "name").and_then(Value::as_str) == Some("solve"));
+    assert!(has_solve, "solver spans present alongside update events");
+}
+
+/// A collision-safe path in the target tmpdir (no tempfile crate in
+/// this offline build).
+fn tempfile_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("smc-{}-{name}", std::process::id()));
+    p
+}
