@@ -22,7 +22,8 @@
 //! Cross-machine baselines are meaningless: both files must come from
 //! the same machine (the committed `results/` protocol regenerates the
 //! old baseline from its tagged commit on the current machine first).
-//! The tool warns when the recorded `hardware_threads` differ.
+//! The tool warns when the recorded `hardware_threads` or `simd_tier`
+//! differ.
 
 use std::process::ExitCode;
 
@@ -100,6 +101,15 @@ fn main() -> ExitCode {
             "warning: baselines record different hardware_threads ({} vs {}) — \
              cross-machine wall times do not compare",
             old.hardware_threads, new.hardware_threads
+        );
+    }
+    // Reports written before the field existed record no tier; only warn
+    // when both sides carry one and they disagree.
+    if !old.simd_tier.is_empty() && !new.simd_tier.is_empty() && old.simd_tier != new.simd_tier {
+        eprintln!(
+            "warning: baselines record different simd_tier ({} vs {}) — \
+             cross-machine wall times do not compare",
+            old.simd_tier, new.simd_tier
         );
     }
 

@@ -159,6 +159,10 @@ impl BenchReport {
             "\"hardware_threads\":{},",
             std::thread::available_parallelism().map_or(1, |p| p.get())
         ));
+        s.push_str(&format!(
+            "\"simd_tier\":{},",
+            json_string(mincut_ds::simd::active_tier().name())
+        ));
         s.push_str(&format!("\"peak_rss_kb\":{},", peak_rss_kb()));
         s.push_str("\"entries\":[");
         for (i, e) in self.entries.iter().enumerate() {
@@ -215,6 +219,9 @@ pub struct LoadedReport {
     pub name: String,
     pub scale: String,
     pub hardware_threads: usize,
+    /// SIMD tier the run dispatched to (empty for reports written before
+    /// the field existed).
+    pub simd_tier: String,
     pub entries: Vec<LoadedEntry>,
 }
 
@@ -238,6 +245,7 @@ impl LoadedReport {
             name: String::new(),
             scale: String::new(),
             hardware_threads: 0,
+            simd_tier: String::new(),
             entries: Vec::new(),
         };
         for (k, v) in obj {
@@ -245,6 +253,7 @@ impl LoadedReport {
                 "name" => report.name = v.as_str().unwrap_or_default().to_string(),
                 "scale" => report.scale = v.as_str().unwrap_or_default().to_string(),
                 "hardware_threads" => report.hardware_threads = v.as_u64() as usize,
+                "simd_tier" => report.simd_tier = v.as_str().unwrap_or_default().to_string(),
                 "entries" => {
                     let arr = v.as_arr().ok_or("entries must be an array")?;
                     for e in arr {
@@ -573,6 +582,10 @@ mod tests {
         assert_eq!(loaded.name, "unit");
         assert_eq!(loaded.scale, "small");
         assert!(loaded.hardware_threads >= 1);
+        assert_eq!(loaded.simd_tier, mincut_ds::simd::active_tier().name());
+        // Legacy reports without the field still load.
+        let legacy = LoadedReport::from_json("{\"name\":\"x\",\"entries\":[]}").expect("legacy");
+        assert!(legacy.simd_tier.is_empty());
         assert_eq!(loaded.entries.len(), 2);
         let l = &loaded.entries[0];
         assert_eq!(l.instance, "two_communities_504");

@@ -35,6 +35,19 @@ pub enum MinCutError {
     /// maintained — e.g. `--stream` without `--cactus`, or a dynamic
     /// service handle registered without cactus maintenance.
     CactusUnavailable { message: String },
+    /// A binary graph pack (`.smcpack`) was rejected: truncated file,
+    /// bad magic, version skew, wrong/overflowing section lengths, or
+    /// misaligned sections. Carries the rendered
+    /// [`PackError`](mincut_graph::pack::PackError).
+    PackFormat { message: String },
+}
+
+impl From<mincut_graph::pack::PackError> for MinCutError {
+    fn from(e: mincut_graph::pack::PackError) -> Self {
+        MinCutError::PackFormat {
+            message: e.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for MinCutError {
@@ -67,6 +80,9 @@ impl std::fmt::Display for MinCutError {
             }
             MinCutError::CactusUnavailable { message } => {
                 write!(f, "no cactus maintained: {message}")
+            }
+            MinCutError::PackFormat { message } => {
+                write!(f, "invalid graph pack: {message}")
             }
         }
     }

@@ -27,7 +27,7 @@
 //! | tier     | requirement                         | used for                    |
 //! |----------|-------------------------------------|-----------------------------|
 //! | `Scalar` | none (portable reference)           | always available            |
-//! | `Sse2`   | x86_64 (SSE2 is baseline)           | 2×u64 sums                  |
+//! | `Sse2`   | x86_64 (SSE2 is baseline)           | 2×u64 sums, 4×u32 gathers (batched bounds check, lane-peeled loads), 4×u64 digit extraction |
 //! | `Avx2`   | `is_x86_feature_detected!("avx2")`  | 4×u64 sums, 8×u32 gathers, 4×u64 digit extraction |
 //!
 //! Detection runs once and is cached in a [`OnceLock`]; the per-call
@@ -229,23 +229,35 @@ pub fn gather_u32(table: &[u32], idx: &[u32], out: &mut [u32]) {
 pub fn gather_u32_with_tier(tier: SimdTier, table: &[u32], idx: &[u32], out: &mut [u32]) {
     assert_eq!(idx.len(), out.len(), "gather_u32: idx/out length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if tier == SimdTier::Avx2 && idx.len() >= 16 {
+    if tier >= SimdTier::Sse2 && idx.len() >= 16 {
         // Bounds: one vectorized max over the batch, then the gathers
-        // run unchecked.
-        let max = unsafe { x86::max_u32_avx2(idx) };
+        // run unchecked. This is what makes the SSE2 tier worthwhile
+        // even without a gather instruction: the batch is validated
+        // once instead of bounds-checking every table access.
+        let max = unsafe {
+            match tier {
+                SimdTier::Avx2 => x86::max_u32_avx2(idx),
+                _ => x86::max_u32_sse2(idx),
+            }
+        };
         assert!(
             (max as usize) < table.len(),
             "gather_u32: index {max} out of range for table of {}",
             table.len()
         );
-        unsafe { x86::gather_u32_avx2(table, idx, out) };
+        unsafe {
+            match tier {
+                SimdTier::Avx2 => x86::gather_u32_avx2(table, idx, out),
+                _ => x86::gather_u32_sse2(table, idx, out),
+            }
+        }
         return;
     }
     let _ = tier;
     gather_u32_scalar(table, idx, out);
 }
 
-/// The scalar reference (SSE2 has no gather; it shares this path).
+/// The scalar reference.
 #[inline]
 pub fn gather_u32_scalar(table: &[u32], idx: &[u32], out: &mut [u32]) {
     for (o, &i) in out.iter_mut().zip(idx) {
@@ -374,6 +386,71 @@ mod x86 {
             max = max.max(x);
         }
         max
+    }
+
+    /// Lane-wise maximum of a `u32` slice (`0` when empty) on bare
+    /// SSE2: `_mm_max_epu32` is SSE4.1, so the accumulator lives in the
+    /// sign-biased domain where `x ^ 0x8000_0000` preserves unsigned
+    /// order under the signed `_mm_cmpgt_epi32`, blended with and/andnot.
+    ///
+    /// # Safety
+    /// SSE2 is baseline on x86_64; always safe to call there.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn max_u32_sse2(xs: &[u32]) -> u32 {
+        let bias = _mm_set1_epi32(i32::MIN);
+        // Biased representation of unsigned 0 — same seed as the AVX2
+        // twin's zero accumulator.
+        let mut accb = bias;
+        let chunks = xs.len() / 4;
+        let p = xs.as_ptr() as *const __m128i;
+        for i in 0..chunks {
+            let vb = _mm_xor_si128(_mm_loadu_si128(p.add(i)), bias);
+            let gt = _mm_cmpgt_epi32(vb, accb);
+            accb = _mm_or_si128(_mm_and_si128(gt, vb), _mm_andnot_si128(gt, accb));
+        }
+        let mut lanes = [0u32; 4];
+        _mm_storeu_si128(
+            lanes.as_mut_ptr() as *mut __m128i,
+            _mm_xor_si128(accb, bias),
+        );
+        let mut max = lanes.iter().copied().max().unwrap_or(0);
+        for &x in &xs[chunks * 4..] {
+            max = max.max(x);
+        }
+        max
+    }
+
+    /// 4-wide gather for bare SSE2 (which has no gather instruction and
+    /// no `_mm_extract_epi32` — that is SSE4.1): vector index loads,
+    /// lanes peeled with shift+`_mm_cvtsi128_si32`, unchecked scalar
+    /// table loads, vector stores. The win over the safe scalar loop is
+    /// the absence of per-element bounds checks — the dispatching
+    /// wrapper validated the whole batch with one max.
+    ///
+    /// # Safety
+    /// SSE2 baseline **and** every index must be in range for `table`
+    /// (the dispatching wrapper max-checks the batch).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn gather_u32_sse2(table: &[u32], idx: &[u32], out: &mut [u32]) {
+        debug_assert_eq!(idx.len(), out.len());
+        let chunks = idx.len() / 4;
+        for c in 0..chunks {
+            let iv = _mm_loadu_si128(idx.as_ptr().add(c * 4) as *const __m128i);
+            let i0 = _mm_cvtsi128_si32(iv) as u32 as usize;
+            let i1 = _mm_cvtsi128_si32(_mm_srli_si128::<4>(iv)) as u32 as usize;
+            let i2 = _mm_cvtsi128_si32(_mm_srli_si128::<8>(iv)) as u32 as usize;
+            let i3 = _mm_cvtsi128_si32(_mm_srli_si128::<12>(iv)) as u32 as usize;
+            let g = _mm_set_epi32(
+                *table.get_unchecked(i3) as i32,
+                *table.get_unchecked(i2) as i32,
+                *table.get_unchecked(i1) as i32,
+                *table.get_unchecked(i0) as i32,
+            );
+            _mm_storeu_si128(out.as_mut_ptr().add(c * 4) as *mut __m128i, g);
+        }
+        for i in chunks * 4..idx.len() {
+            *out.get_unchecked_mut(i) = *table.get_unchecked(*idx.get_unchecked(i) as usize);
+        }
     }
 
     /// 8-wide gather: `out[i] = table[idx[i]]`.

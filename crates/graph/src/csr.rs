@@ -1,9 +1,11 @@
 //! Compressed-sparse-row graph representation and its builder.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use rayon::prelude::*;
 
+use crate::storage::CsrStorage;
 use crate::{EdgeWeight, NodeId};
 
 /// Below this many (deduplicated) edges the CSR rebuild stays fully
@@ -40,17 +42,38 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 /// * no parallel edges (duplicates are merged by summing weights);
 /// * adjacency lists sorted by neighbour id;
 /// * all weights ≥ 1.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Every section lives behind [`CsrStorage`]: graphs built in memory
+/// own their `Vec`s, graphs loaded from an `.smcpack` file (see
+/// [`crate::pack`]) borrow read-only mmap windows — solvers cannot tell
+/// the difference.
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `xadj[v]..xadj[v+1]` indexes `adj`/`weight` for vertex `v`. Length n+1.
-    xadj: Vec<usize>,
+    xadj: CsrStorage<usize>,
     /// Arc targets. Length 2m.
-    adj: Vec<NodeId>,
+    adj: CsrStorage<NodeId>,
     /// Arc weights, parallel to `adj`.
-    weight: Vec<EdgeWeight>,
+    weight: CsrStorage<EdgeWeight>,
     /// Weighted degree of every vertex (the paper's c(v)).
-    wdeg: Vec<EdgeWeight>,
+    wdeg: CsrStorage<EdgeWeight>,
+    /// Lazily computed [`CsrGraph::fingerprint`]; seeded from the pack
+    /// header on load, invalidated by the in-place rebuild.
+    fp: OnceLock<u64>,
 }
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached fingerprint is derived state and deliberately
+        // excluded: an uncached graph equals its cached twin.
+        self.xadj == other.xadj
+            && self.adj == other.adj
+            && self.weight == other.weight
+            && self.wdeg == other.wdeg
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Builds a graph directly from an edge list. Convenience wrapper around
@@ -75,11 +98,49 @@ impl CsrGraph {
     /// The empty graph.
     pub fn empty() -> Self {
         CsrGraph {
-            xadj: vec![0],
-            adj: Vec::new(),
-            weight: Vec::new(),
-            wdeg: Vec::new(),
+            xadj: vec![0].into(),
+            adj: Vec::new().into(),
+            weight: Vec::new().into(),
+            wdeg: Vec::new().into(),
+            fp: OnceLock::new(),
         }
+    }
+
+    /// Assembles a graph directly from validated storage sections; used
+    /// by the pack loaders in [`crate::pack`], which guarantee the CSR
+    /// invariants (structurally checked; content vouched for by the
+    /// stored fingerprint and the round-trip test suite).
+    pub(crate) fn from_storage_unchecked(
+        xadj: CsrStorage<usize>,
+        adj: CsrStorage<NodeId>,
+        weight: CsrStorage<EdgeWeight>,
+        wdeg: CsrStorage<EdgeWeight>,
+        fingerprint: u64,
+    ) -> CsrGraph {
+        let fp = OnceLock::new();
+        let _ = fp.set(fingerprint);
+        CsrGraph {
+            xadj,
+            adj,
+            weight,
+            wdeg,
+            fp,
+        }
+    }
+
+    /// The raw CSR sections `(xadj, adj, weight, wdeg)`; consumed by the
+    /// pack writer.
+    pub(crate) fn csr_sections(&self) -> (&[usize], &[NodeId], &[EdgeWeight], &[EdgeWeight]) {
+        (&self.xadj, &self.adj, &self.weight, &self.wdeg)
+    }
+
+    /// Whether any CSR section borrows a file mapping instead of owning
+    /// heap memory (true for graphs loaded via [`crate::pack::load_pack`]).
+    pub fn is_mmap_backed(&self) -> bool {
+        self.xadj.is_mapped()
+            || self.adj.is_mapped()
+            || self.weight.is_mapped()
+            || self.wdeg.is_mapped()
     }
 
     /// Number of vertices.
@@ -205,7 +266,19 @@ impl CsrGraph {
     /// fingerprint as a stable anchor and folds its `epoch` counter into
     /// every derived cache key (`(origin_fingerprint, epoch)`), exactly
     /// so stale entries can never be confused with current ones.
+    ///
+    /// The value is computed once and cached (`CsrGraph` is immutable;
+    /// the contraction engine's internal rebuild resets the cache).
+    /// Graphs loaded from an `.smcpack` file arrive with the cache
+    /// pre-seeded from the pack header, so service cache keys cost zero
+    /// hashing on reload.
     pub fn fingerprint(&self) -> u64 {
+        *self.fp.get_or_init(|| self.compute_fingerprint())
+    }
+
+    /// The O(m) fingerprint hash, bypassing the cache; the pack reader
+    /// uses this to cross-check a stored header fingerprint in tests.
+    pub fn compute_fingerprint(&self) -> u64 {
         use mincut_ds::hash::{fnv1a_u64, FNV1A_OFFSET};
         let mut h = fnv1a_u64(FNV1A_OFFSET, self.n() as u64);
         for (u, v, w) in self.edges() {
@@ -323,14 +396,19 @@ impl CsrGraph {
         edges: &[(NodeId, NodeId, EdgeWeight)],
         sort_scratch: &mut Vec<(NodeId, EdgeWeight)>,
     ) {
+        // The edge set changes, so any cached fingerprint is stale.
+        self.fp = OnceLock::new();
         // Count arc degrees into xadj (prefix-summed below). Large edge
         // lists take the chunk-parallel counting/scatter path; the final
         // graph is identical either way (per-list sort normalises).
+        // `owned()` drops any mmap backing up front: a mapped graph
+        // recycled as a rebuild target becomes an ordinary owned one.
         let parallel = edges.len() >= PAR_REBUILD_MIN_EDGES;
-        self.xadj.clear();
-        self.xadj.resize(n + 1, 0);
+        let xadj = self.xadj.owned();
+        xadj.clear();
+        xadj.resize(n + 1, 0);
         if parallel {
-            let xadj = atomic_view(&mut self.xadj);
+            let xadj = atomic_view(xadj);
             edges.par_chunks(PAR_REBUILD_CHUNK).for_each(|chunk| {
                 for &(u, v, _) in chunk {
                     debug_assert!(u < v, "edges must be normalised u < v");
@@ -341,18 +419,20 @@ impl CsrGraph {
         } else {
             for &(u, v, _) in edges {
                 debug_assert!(u < v, "edges must be normalised u < v");
-                self.xadj[u as usize + 1] += 1;
-                self.xadj[v as usize + 1] += 1;
+                xadj[u as usize + 1] += 1;
+                xadj[v as usize + 1] += 1;
             }
         }
         for i in 0..n {
-            self.xadj[i + 1] += self.xadj[i];
+            xadj[i + 1] += xadj[i];
         }
-        let num_arcs = self.xadj[n];
-        self.adj.clear();
-        self.adj.resize(num_arcs, 0);
-        self.weight.clear();
-        self.weight.resize(num_arcs, 0);
+        let num_arcs = xadj[n];
+        let adj = self.adj.owned();
+        adj.clear();
+        adj.resize(num_arcs, 0);
+        let weight = self.weight.owned();
+        weight.clear();
+        weight.resize(num_arcs, 0);
         // Fill using xadj[0..n] itself as the write cursor (each slot walks
         // from the start of its zone to the end), then shift the array right
         // one slot to restore the canonical offsets — avoids the cursor
@@ -360,9 +440,9 @@ impl CsrGraph {
         // parallel path claims cursor slots with fetch_add: every arc gets
         // a distinct index, so the raw writes below never alias.
         if parallel {
-            let xadj = atomic_view(&mut self.xadj);
-            let adj = SendPtr(self.adj.as_mut_ptr());
-            let weight = SendPtr(self.weight.as_mut_ptr());
+            let xadj = atomic_view(xadj);
+            let adj = SendPtr(adj.as_mut_ptr());
+            let weight = SendPtr(weight.as_mut_ptr());
             edges.par_chunks(PAR_REBUILD_CHUNK).for_each(|chunk| {
                 // Capture the wrappers whole (not their raw-pointer
                 // fields) so the Send/Sync assertions apply.
@@ -383,20 +463,20 @@ impl CsrGraph {
             });
         } else {
             for &(u, v, w) in edges {
-                let cu = self.xadj[u as usize];
-                self.adj[cu] = v;
-                self.weight[cu] = w;
-                self.xadj[u as usize] += 1;
-                let cv = self.xadj[v as usize];
-                self.adj[cv] = u;
-                self.weight[cv] = w;
-                self.xadj[v as usize] += 1;
+                let cu = xadj[u as usize];
+                adj[cu] = v;
+                weight[cu] = w;
+                xadj[u as usize] += 1;
+                let cv = xadj[v as usize];
+                adj[cv] = u;
+                weight[cv] = w;
+                xadj[v as usize] += 1;
             }
         }
         for i in (1..=n).rev() {
-            self.xadj[i] = self.xadj[i - 1];
+            xadj[i] = xadj[i - 1];
         }
-        self.xadj[0] = 0;
+        xadj[0] = 0;
         // u-side insertions (targets v, ascending per u) interleave with
         // v-side insertions (targets u, ascending across the scan), so each
         // list is a merge of two ascending runs — but the runs interleave in
@@ -411,32 +491,36 @@ impl CsrGraph {
 
     fn sort_adjacency_lists(&mut self, scratch: &mut Vec<(NodeId, EdgeWeight)>) {
         let n = self.n();
+        let xadj = &self.xadj;
+        let adj = self.adj.owned();
+        let weight = self.weight.owned();
         for v in 0..n {
-            let lo = self.xadj[v];
-            let hi = self.xadj[v + 1];
-            if self.adj[lo..hi].windows(2).all(|w| w[0] <= w[1]) {
+            let lo = xadj[v];
+            let hi = xadj[v + 1];
+            if adj[lo..hi].windows(2).all(|w| w[0] <= w[1]) {
                 continue;
             }
             // Sort (adj, weight) pairs of this list by neighbour id.
             scratch.clear();
             scratch.extend(
-                self.adj[lo..hi]
+                adj[lo..hi]
                     .iter()
                     .copied()
-                    .zip(self.weight[lo..hi].iter().copied()),
+                    .zip(weight[lo..hi].iter().copied()),
             );
             scratch.sort_unstable_by_key(|p| p.0);
             for (i, &(a, w)) in scratch.iter().enumerate() {
-                self.adj[lo + i] = a;
-                self.weight[lo + i] = w;
+                adj[lo + i] = a;
+                weight[lo + i] = w;
             }
         }
     }
 
     fn rebuild_weighted_degrees(&mut self) {
         let n = self.n();
-        self.wdeg.clear();
-        self.wdeg.extend(
+        let wdeg = self.wdeg.owned();
+        wdeg.clear();
+        wdeg.extend(
             (0..n).map(|v| mincut_ds::simd::sum_u64(&self.weight[self.xadj[v]..self.xadj[v + 1]])),
         );
     }

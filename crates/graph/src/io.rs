@@ -8,8 +8,21 @@
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 use std::num::ParseIntError;
+use std::time::Instant;
 
 use crate::{CsrGraph, EdgeWeight, GraphBuilder, NodeId};
+
+/// Closes out an ingest span (`ingest/parse`, `ingest/mmap`) and feeds
+/// the shared `ingest.bytes` / `ingest.micros` metrics, so every path a
+/// graph takes into memory is measurable with one pair of series.
+pub(crate) fn record_ingest(span: &mut mincut_obs::SpanGuard, bytes: u64, start: Instant) {
+    span.arg("bytes", bytes);
+    let metrics = mincut_obs::metrics();
+    metrics.counter("ingest.bytes").add(bytes);
+    metrics
+        .histogram("ingest.micros")
+        .record(start.elapsed().as_micros() as u64);
+}
 
 /// Errors produced by the graph parsers.
 #[derive(Debug)]
@@ -71,6 +84,10 @@ fn parse_unsigned(line: usize, token: &str, what: &str) -> Result<u64, GraphIoEr
 /// solvers assume loop-free graphs, and silently dropping bad records
 /// would let corrupt instances through a serving pipeline unnoticed.
 pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
+    let start = Instant::now();
+    let mut span = mincut_obs::span("ingest/parse");
+    span.arg("format", "metis");
+    let mut bytes = 0u64;
     let mut lines = reader.lines().enumerate();
     // Header.
     let (header_no, header) = loop {
@@ -78,6 +95,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
             None => return Err(parse_err(0, "missing header")),
             Some((no, line)) => {
                 let line = line?;
+                bytes += line.len() as u64 + 1;
                 let t = line.trim();
                 if !t.is_empty() && !t.starts_with('%') {
                     break (no + 1, t.to_string());
@@ -110,6 +128,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
     let mut vertex = 0usize;
     for (no, line) in lines {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         let t = line.trim();
         if t.starts_with('%') {
             continue;
@@ -174,6 +193,7 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, GraphIoError> {
             ),
         ));
     }
+    record_ingest(&mut span, bytes, start);
     Ok(g)
 }
 
@@ -211,10 +231,15 @@ pub fn read_edge_list<R: BufRead>(
     reader: R,
     n_hint: Option<usize>,
 ) -> Result<CsrGraph, GraphIoError> {
+    let start = Instant::now();
+    let mut span = mincut_obs::span("ingest/parse");
+    span.arg("format", "edge-list");
+    let mut bytes = 0u64;
     let mut edges: Vec<(NodeId, NodeId, EdgeWeight)> = Vec::new();
     let mut max_id: u64 = 0;
     for (no, line) in reader.lines().enumerate() {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
@@ -266,6 +291,7 @@ pub fn read_edge_list<R: BufRead>(
     for (u, v, w) in edges {
         b.add_edge(u, v, w);
     }
+    record_ingest(&mut span, bytes, start);
     Ok(b.build())
 }
 

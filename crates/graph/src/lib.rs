@@ -27,7 +27,12 @@
 //!   prepare the paper's real-world instances (Appendix A.2);
 //! * [`components`] — connected components (the paper's instances are the
 //!   largest connected component of a k-core);
-//! * [`io`] — METIS and edge-list readers/writers.
+//! * [`io`] — METIS and edge-list readers/writers;
+//! * [`pack`] — the `.smcpack` binary graph format: a little-endian,
+//!   length-prefixed dump of the exact CSR sections with a stored
+//!   fingerprint, plus an O(1)-validating mmap loader that serves graphs
+//!   **zero-copy** (sections borrow the mapping via [`storage`], no
+//!   per-edge allocation, parse, or hash on reload).
 
 pub mod components;
 pub mod contract;
@@ -36,8 +41,10 @@ pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod kcore;
+pub mod pack;
 pub mod partition;
 pub mod stats;
+pub mod storage;
 
 pub use contract::{ContractionEngine, ContractionPath};
 pub use csr::{CsrGraph, GraphBuilder};

@@ -1,0 +1,617 @@
+//! The `.smcpack` binary graph format: zero-copy CSR ingestion.
+//!
+//! Text formats (METIS, edge lists) pay an O(m) parse, an O(m log m)
+//! normalisation sort, and an O(m) fingerprint hash on **every** load.
+//! A pack file is instead a little-endian, length-prefixed dump of the
+//! exact in-memory CSR sections plus the stored fingerprint, so reload
+//! is `mmap(2)` + an O(1)-per-section structural validation — no
+//! per-edge allocation, copy, parse, or hash. The byte-level layout is
+//! specified in `docs/pack-format.md`; the short version:
+//!
+//! ```text
+//! header (64 bytes):
+//!   0..8   magic  "SMCPACK\0"
+//!   8..12  version u32 (currently 1)
+//!   12..16 flags u32 (must be 0; unknown flags are rejected)
+//!   16..24 n u64   (vertex count)
+//!   24..32 m u64   (undirected edge count)
+//!   32..40 fingerprint u64 (CsrGraph::fingerprint of the payload)
+//!   40..44 data_offset u32 (byte offset of the first section; 64)
+//!   44..64 reserved (writers emit zero, readers ignore)
+//! sections, in order, each [byte-length u64][payload][pad to 8]:
+//!   xadj   (n+1) x u64    CSR row offsets
+//!   adj    2m    x u32    arc targets
+//!   weight 2m    x u64    arc weights
+//!   wdeg   n     x u64    weighted degrees
+//! ```
+//!
+//! Three entry points:
+//! * [`write_pack`] / [`write_pack_file`] — serialise any [`CsrGraph`];
+//! * [`load_pack`] — the mmap loader: validates the structure, then
+//!   hands out a graph whose sections *borrow* the mapping (see
+//!   [`crate::storage::CsrStorage`]); falls back to the owned reader on
+//!   targets where the reinterpretation is unsound (big-endian or
+//!   32-bit `usize`);
+//! * [`read_pack`] / [`read_pack_bytes`] — the portable checked reader
+//!   producing owned storage (used for non-seekable sources and as the
+//!   fallback).
+//!
+//! Corruption — truncation, bad magic, version skew, wrong or
+//! overflowing section lengths, misaligned sections — is reported as
+//! [`PackError`], never UB and never a panic. Validation is structural
+//! and O(1) per section; section *content* is trusted (the stored
+//! fingerprint plus the round-trip test suite are the integrity story),
+//! and garbage content at worst produces a wrong answer or an index
+//! panic in safe code, never an out-of-bounds read.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::{CsrGraph, EdgeWeight, NodeId};
+
+/// First eight bytes of every pack file.
+pub const MAGIC: [u8; 8] = *b"SMCPACK\0";
+
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Canonical file extension (without the dot).
+pub const PACK_EXTENSION: &str = "smcpack";
+
+/// Whether `path` names a pack file by extension.
+pub fn is_pack_path(path: &Path) -> bool {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case(PACK_EXTENSION))
+}
+
+/// Everything that can be wrong with a pack file. Every variant is a
+/// rejected *value* — the loaders never panic on hostile bytes.
+#[derive(Debug)]
+pub enum PackError {
+    /// The underlying file could not be opened, read, or mapped.
+    Io(io::Error),
+    /// The file ends before the header or a section does.
+    Truncated { expected: u64, actual: u64 },
+    /// The first eight bytes are not [`MAGIC`].
+    BadMagic,
+    /// The header's version is not [`VERSION`].
+    VersionSkew { found: u32, supported: u32 },
+    /// The header carries flag bits this build does not understand.
+    UnknownFlags { flags: u32 },
+    /// A section (or the section table itself) does not start on the
+    /// 8-byte boundary the zero-copy reinterpretation requires.
+    Misaligned { offset: u64 },
+    /// A section's stored byte length disagrees with the length implied
+    /// by the header's `n`/`m` (including lengths so large they
+    /// overflow).
+    SectionLength {
+        section: &'static str,
+        expected: u64,
+        found: u64,
+    },
+    /// Any other structural inconsistency (counts overflow the address
+    /// space, trailing bytes after the last section, CSR bookend
+    /// mismatch).
+    Corrupt { message: String },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Io(e) => write!(f, "pack i/o: {e}"),
+            PackError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "pack truncated: need {expected} bytes, file has {actual}"
+                )
+            }
+            PackError::BadMagic => write!(f, "not a pack file (bad magic)"),
+            PackError::VersionSkew { found, supported } => {
+                write!(
+                    f,
+                    "pack version {found} not supported (this build reads version {supported})"
+                )
+            }
+            PackError::UnknownFlags { flags } => {
+                write!(f, "pack carries unknown flag bits {flags:#x}")
+            }
+            PackError::Misaligned { offset } => {
+                write!(f, "pack section at byte {offset} is not 8-byte aligned")
+            }
+            PackError::SectionLength {
+                section,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "pack section {section}: stored length {found} bytes, header implies {expected}"
+                )
+            }
+            PackError::Corrupt { message } => write!(f, "corrupt pack: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PackError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PackError {
+    fn from(e: io::Error) -> Self {
+        PackError::Io(e)
+    }
+}
+
+fn corrupt(message: impl Into<String>) -> PackError {
+    PackError::Corrupt {
+        message: message.into(),
+    }
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+/// Byte offsets of the validated sections inside a pack image.
+struct PackLayout {
+    n: usize,
+    /// Stored arc count, 2m.
+    arcs: usize,
+    fingerprint: u64,
+    xadj_off: usize,
+    adj_off: usize,
+    weight_off: usize,
+    wdeg_off: usize,
+}
+
+/// Structural validation of a pack image: header sanity plus, per
+/// section, a constant amount of work (stored length vs the length the
+/// header implies, bounds against the file size, 8-byte alignment).
+/// Also checks the CSR bookends `xadj[0] == 0` and `xadj[n] == 2m` —
+/// two O(1) reads that catch most interior truncation-and-resize edits.
+fn parse_layout(bytes: &[u8]) -> Result<PackLayout, PackError> {
+    let file_len = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN {
+        return Err(PackError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: file_len,
+        });
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(PackError::BadMagic);
+    }
+    let version = read_u32(bytes, 8);
+    if version != VERSION {
+        return Err(PackError::VersionSkew {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let flags = read_u32(bytes, 12);
+    if flags != 0 {
+        return Err(PackError::UnknownFlags { flags });
+    }
+    let n64 = read_u64(bytes, 16);
+    let m64 = read_u64(bytes, 24);
+    let fingerprint = read_u64(bytes, 32);
+    let data_offset = read_u32(bytes, 40) as u64;
+    if n64 > NodeId::MAX as u64 {
+        return Err(corrupt(format!(
+            "vertex count {n64} exceeds the 32-bit id space"
+        )));
+    }
+    if data_offset < HEADER_LEN as u64 || !data_offset.is_multiple_of(8) {
+        return Err(PackError::Misaligned {
+            offset: data_offset,
+        });
+    }
+    // Section byte lengths implied by the header, with every multiply
+    // checked so a hostile n/m cannot wrap into a "valid" small length.
+    let arcs64 = m64
+        .checked_mul(2)
+        .ok_or_else(|| corrupt("arc count 2m overflows"))?;
+    let sec_len = |elems: u64, width: u64, name: &'static str| -> Result<u64, PackError> {
+        elems.checked_mul(width).ok_or(PackError::SectionLength {
+            section: name,
+            expected: u64::MAX,
+            found: 0,
+        })
+    };
+    let xadj_bytes = sec_len(n64 + 1, 8, "xadj")?;
+    let adj_bytes = sec_len(arcs64, 4, "adj")?;
+    let weight_bytes = sec_len(arcs64, 8, "weight")?;
+    let wdeg_bytes = sec_len(n64, 8, "wdeg")?;
+
+    let mut offsets = [0usize; 4];
+    let mut cursor = data_offset;
+    let sections: [(&'static str, u64); 4] = [
+        ("xadj", xadj_bytes),
+        ("adj", adj_bytes),
+        ("weight", weight_bytes),
+        ("wdeg", wdeg_bytes),
+    ];
+    for (i, &(name, expected)) in sections.iter().enumerate() {
+        let payload_off = cursor
+            .checked_add(8)
+            .ok_or_else(|| corrupt("section offset overflows"))?;
+        if payload_off > file_len {
+            return Err(PackError::Truncated {
+                expected: payload_off,
+                actual: file_len,
+            });
+        }
+        let stored = read_u64(bytes, cursor as usize);
+        if stored != expected {
+            return Err(PackError::SectionLength {
+                section: name,
+                expected,
+                found: stored,
+            });
+        }
+        if payload_off % 8 != 0 {
+            return Err(PackError::Misaligned {
+                offset: payload_off,
+            });
+        }
+        let payload_end = payload_off
+            .checked_add(expected)
+            .ok_or_else(|| corrupt("section end overflows"))?;
+        if payload_end > file_len {
+            return Err(PackError::Truncated {
+                expected: payload_end,
+                actual: file_len,
+            });
+        }
+        offsets[i] = payload_off as usize;
+        // Pad to the next 8-byte boundary (always 0 in version 1, where
+        // every section length is a multiple of 8).
+        cursor = payload_end + (8 - payload_end % 8) % 8;
+    }
+    if cursor != file_len {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last section",
+            file_len - cursor
+        )));
+    }
+
+    let n = usize::try_from(n64).map_err(|_| corrupt("vertex count overflows usize"))?;
+    let arcs = usize::try_from(arcs64).map_err(|_| corrupt("arc count overflows usize"))?;
+    // CSR bookends: O(1) reads into the xadj payload.
+    let first = read_u64(bytes, offsets[0]);
+    let last = read_u64(bytes, offsets[0] + 8 * n);
+    if first != 0 || last != arcs64 {
+        return Err(corrupt(format!(
+            "xadj bookends ({first}, {last}) disagree with header (0, {arcs64})"
+        )));
+    }
+    Ok(PackLayout {
+        n,
+        arcs,
+        fingerprint,
+        xadj_off: offsets[0],
+        adj_off: offsets[1],
+        weight_off: offsets[2],
+        wdeg_off: offsets[3],
+    })
+}
+
+/// Serialises `g` as a version-1 pack. Callers provide buffering
+/// (see [`write_pack_file`]).
+pub fn write_pack<W: Write>(g: &CsrGraph, w: &mut W) -> io::Result<()> {
+    let (xadj, adj, weight, wdeg) = g.csr_sections();
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    // flags at 12..16 stay zero.
+    header[16..24].copy_from_slice(&(g.n() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(g.m() as u64).to_le_bytes());
+    header[32..40].copy_from_slice(&g.fingerprint().to_le_bytes());
+    header[40..44].copy_from_slice(&(HEADER_LEN as u32).to_le_bytes());
+    w.write_all(&header)?;
+
+    write_section(w, xadj.len() as u64 * 8, xadj.iter().map(|&x| x as u64))?;
+    w.write_all(&(adj.len() as u64 * 4).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(8 << 10);
+    for &t in adj {
+        buf.extend_from_slice(&t.to_le_bytes());
+        if buf.len() >= (8 << 10) {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    // adj is 2m x 4 bytes = 8m: already a multiple of 8, no padding.
+    write_section(w, weight.len() as u64 * 8, weight.iter().copied())?;
+    write_section(w, wdeg.len() as u64 * 8, wdeg.iter().copied())?;
+    Ok(())
+}
+
+fn write_section<W: Write>(
+    w: &mut W,
+    byte_len: u64,
+    values: impl Iterator<Item = u64>,
+) -> io::Result<()> {
+    w.write_all(&byte_len.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(8 << 10);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() >= (8 << 10) {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Writes `g` to `path` as a pack file (buffered; overwrites).
+pub fn write_pack_file(g: &CsrGraph, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(File::create(path)?);
+    write_pack(g, &mut w)?;
+    w.flush()
+}
+
+/// Decodes a full pack image into an **owned** graph. Portable (works
+/// on any endianness/word size) and fully checked; this is the fallback
+/// for targets where [`load_pack`] cannot reinterpret the mapping, and
+/// the reader for non-seekable sources.
+pub fn read_pack_bytes(bytes: &[u8]) -> Result<CsrGraph, PackError> {
+    let lay = parse_layout(bytes)?;
+    let xadj: Vec<usize> = bytes[lay.xadj_off..lay.xadj_off + 8 * (lay.n + 1)]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+        .collect();
+    let adj: Vec<NodeId> = bytes[lay.adj_off..lay.adj_off + 4 * lay.arcs]
+        .chunks_exact(4)
+        .map(|c| NodeId::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let weight: Vec<EdgeWeight> = bytes[lay.weight_off..lay.weight_off + 8 * lay.arcs]
+        .chunks_exact(8)
+        .map(|c| EdgeWeight::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let wdeg: Vec<EdgeWeight> = bytes[lay.wdeg_off..lay.wdeg_off + 8 * lay.n]
+        .chunks_exact(8)
+        .map(|c| EdgeWeight::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(CsrGraph::from_storage_unchecked(
+        xadj.into(),
+        adj.into(),
+        weight.into(),
+        wdeg.into(),
+        lay.fingerprint,
+    ))
+}
+
+/// Reads a pack from any byte stream into an owned graph.
+pub fn read_pack<R: Read>(r: &mut R) -> Result<CsrGraph, PackError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    read_pack_bytes(&bytes)
+}
+
+/// Loads a pack file **zero-copy**: the file is mapped read-only, the
+/// structure validated in O(1) per section, and the returned graph's
+/// CSR sections borrow the mapping directly — no per-edge allocation,
+/// copy, or hash. The stored fingerprint pre-seeds
+/// [`CsrGraph::fingerprint`], so cache keys derived from it are free.
+///
+/// On targets where the reinterpretation is unsound (big-endian, or
+/// 32-bit `usize`) this transparently falls back to the owned reader.
+pub fn load_pack(path: &Path) -> Result<CsrGraph, PackError> {
+    let start = Instant::now();
+    let mut span = mincut_obs::span("ingest/mmap");
+    span.arg_display("path", path.display());
+    let (g, bytes) = load_pack_inner(path)?;
+    span.arg("n", g.n() as u64);
+    span.arg("m", g.m() as u64);
+    crate::io::record_ingest(&mut span, bytes, start);
+    Ok(g)
+}
+
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+fn load_pack_inner(path: &Path) -> Result<(CsrGraph, u64), PackError> {
+    use std::sync::Arc;
+
+    use crate::storage::mapped::{MappedSlice, Mmap};
+    use crate::storage::CsrStorage;
+
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN as u64 {
+        return Err(PackError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: file_len,
+        });
+    }
+    let map = Arc::new(Mmap::map(&file, file_len as usize)?);
+    let lay = parse_layout(map.as_slice())?;
+    // SAFETY of the reinterpretation: parse_layout guarantees each
+    // window is in bounds and starts on an 8-byte boundary, and on this
+    // cfg usize is 8-byte little-endian — identical layout to the
+    // stored u64s. MappedSlice re-checks both invariants.
+    let g = CsrGraph::from_storage_unchecked(
+        CsrStorage::Mapped(MappedSlice::<usize>::new(
+            Arc::clone(&map),
+            lay.xadj_off,
+            lay.n + 1,
+        )),
+        CsrStorage::Mapped(MappedSlice::<NodeId>::new(
+            Arc::clone(&map),
+            lay.adj_off,
+            lay.arcs,
+        )),
+        CsrStorage::Mapped(MappedSlice::<EdgeWeight>::new(
+            Arc::clone(&map),
+            lay.weight_off,
+            lay.arcs,
+        )),
+        CsrStorage::Mapped(MappedSlice::<EdgeWeight>::new(map, lay.wdeg_off, lay.n)),
+        lay.fingerprint,
+    );
+    Ok((g, file_len))
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+fn load_pack_inner(path: &Path) -> Result<(CsrGraph, u64), PackError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    Ok((read_pack(&mut file)?, file_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::known;
+
+    fn pack_bytes(g: &CsrGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_pack(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trips_in_memory() {
+        let (g, _) = known::two_communities(20, 22, 2, 3, 7);
+        let bytes = pack_bytes(&g);
+        let back = read_pack_bytes(&bytes).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(g.fingerprint(), back.fingerprint());
+        assert_eq!(back.fingerprint(), back.compute_fingerprint());
+    }
+
+    #[test]
+    fn round_trips_empty_and_tiny() {
+        for g in [
+            CsrGraph::empty(),
+            CsrGraph::from_edges(1, &[]),
+            CsrGraph::from_edges(2, &[(0, 1, 5)]),
+        ] {
+            let back = read_pack_bytes(&pack_bytes(&g)).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let (g, _) = known::ring_of_cliques(3, 5, 2, 1);
+        let bytes = pack_bytes(&g);
+        // Every proper prefix must be rejected as a value, never panic.
+        for cut in [
+            0,
+            7,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            HEADER_LEN + 9,
+            bytes.len() - 1,
+        ] {
+            let err = read_pack_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PackError::Truncated { .. } | PackError::SectionLength { .. }
+                ),
+                "prefix {cut}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_flags() {
+        let (g, _) = known::grid_graph(3, 3, 2);
+        let good = pack_bytes(&g);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::BadMagic
+        ));
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::VersionSkew { found: 99, .. }
+        ));
+        let mut bad = good.clone();
+        bad[12] = 0x80;
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::UnknownFlags { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_section_lengths() {
+        let (g, _) = known::grid_graph(3, 3, 2);
+        let good = pack_bytes(&g);
+        // Stored xadj length inflated: must not read past the buffer.
+        let mut bad = good.clone();
+        bad[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::SectionLength {
+                section: "xadj",
+                ..
+            }
+        ));
+        // Header m inflated so section sizes overflow u64 arithmetic.
+        let mut bad = good.clone();
+        bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_pack_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_data_offset() {
+        let (g, _) = known::grid_graph(3, 3, 2);
+        let mut bad = pack_bytes(&g);
+        // Aligned but shifted: the first length prefix reads payload
+        // bytes and cannot match the expected section length.
+        bad[40..44].copy_from_slice(&72u32.to_le_bytes());
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::Truncated { .. }
+                | PackError::SectionLength { .. }
+                | PackError::Corrupt { .. }
+        ));
+        bad[40..44].copy_from_slice(&65u32.to_le_bytes());
+        assert!(matches!(
+            read_pack_bytes(&bad).unwrap_err(),
+            PackError::Misaligned { offset: 65 }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_and_bad_bookends() {
+        let (g, _) = known::grid_graph(3, 3, 2);
+        let mut bytes = pack_bytes(&g);
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            read_pack_bytes(&bytes).unwrap_err(),
+            PackError::SectionLength { .. } | PackError::Corrupt { .. }
+        ));
+        let mut bytes = pack_bytes(&g);
+        // xadj[0] must be zero.
+        bytes[HEADER_LEN + 8] = 1;
+        assert!(matches!(
+            read_pack_bytes(&bytes).unwrap_err(),
+            PackError::Corrupt { .. }
+        ));
+    }
+}

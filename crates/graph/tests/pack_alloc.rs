@@ -1,0 +1,122 @@
+//! Proof that `.smcpack` loading is zero-copy.
+//!
+//! A counting global allocator wraps the system allocator (the protocol
+//! of `crates/core/tests/scan_alloc.rs`); after warm-up, [`load_pack`]
+//! must perform a *small, graph-size-independent* number of heap
+//! allocations — the mmap window, its `Arc`, and per-call bookkeeping,
+//! never a per-element buffer. A pack ~100× larger must load with
+//! exactly the same allocation count as a tiny one, which is the whole
+//! point of the format: the CSR sections are borrowed from the mapping,
+//! not parsed into fresh `Vec`s. This file intentionally holds a single
+//! `#[test]` so no sibling test can allocate concurrently and pollute
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::path::Path;
+
+use mincut_graph::pack::{load_pack, write_pack_file};
+use mincut_graph::CsrGraph;
+
+struct CountingAllocator;
+
+// Per-thread counter: the libtest harness thread may allocate (pipe
+// buffering, timers) concurrently with the test thread, so a global
+// counter would flake. Const-initialised `Cell` TLS never allocates on
+// access; `try_with` tolerates teardown-phase allocations.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.try_with(|c| c.get()).unwrap_or(0)
+}
+
+/// A ring with `n` vertices (n edges, λ = 2) — size dialled by `n`.
+fn ring(n: u32) -> CsrGraph {
+    let edges: Vec<(u32, u32, u64)> = (0..n).map(|u| (u, (u + 1) % n, 1)).collect();
+    CsrGraph::from_edges(n as usize, &edges)
+}
+
+/// Allocation count of one `load_pack` call (the graph is dropped
+/// inside, so `Drop` of the mapping is included — it must not allocate
+/// either).
+fn allocs_of_load(path: &Path) -> u64 {
+    let before = allocations();
+    let g = load_pack(path).expect("load pack");
+    assert!(g.n() > 0);
+    drop(g);
+    allocations() - before
+}
+
+#[test]
+fn pack_load_allocations_are_size_independent() {
+    let dir = std::env::temp_dir().join(format!("smc-pack-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    // Equal-length file names: the path buffers the loader builds must
+    // not differ in size between the two measurements.
+    let small_path = dir.join("small.smcpack");
+    let large_path = dir.join("large.smcpack");
+    let small = ring(64);
+    let large = ring(8192); // ~128× the payload bytes
+    write_pack_file(&small, &small_path).expect("write small");
+    write_pack_file(&large, &large_path).expect("write large");
+
+    // Warm-up: first loads populate the metrics registry (counter and
+    // histogram registration allocate once per process) and any lazy
+    // runtime state.
+    for _ in 0..3 {
+        drop(load_pack(&small_path).expect("warm small"));
+        drop(load_pack(&large_path).expect("warm large"));
+    }
+
+    let small_allocs = allocs_of_load(&small_path);
+    let large_allocs = allocs_of_load(&large_path);
+    assert_eq!(
+        small_allocs, large_allocs,
+        "pack load allocation count must not depend on graph size \
+         (64-vertex pack: {small_allocs}, 8192-vertex pack: {large_allocs})"
+    );
+    assert!(
+        small_allocs <= 32,
+        "pack load allocated {small_allocs} times; the mmap path should \
+         need only the mapping, its Arc and per-call bookkeeping"
+    );
+
+    // The loaded graph really is borrowed from the mapping on targets
+    // where the mmap path is compiled in (everywhere the CI matrix runs).
+    if cfg!(all(
+        unix,
+        target_pointer_width = "64",
+        target_endian = "little"
+    )) {
+        let g = load_pack(&large_path).expect("load large");
+        assert!(g.is_mmap_backed(), "loader fell back to copying");
+        assert_eq!(g.fingerprint(), large.fingerprint());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

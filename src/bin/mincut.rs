@@ -69,9 +69,14 @@ mincut - exact minimum cut solver (Henzinger-Noe-Schulz, IPDPS 2019)
 USAGE: mincut [OPTIONS] <GRAPH>
        mincut [OPTIONS] --batch <MANIFEST>
        mincut [OPTIONS] --stream <TRACE> <GRAPH>
+       mincut pack <GRAPH> [-o FILE]
 
 ARGS:
-  <GRAPH>  METIS file (*.graph, *.metis) or edge list; '-' = stdin edge list
+  <GRAPH>  METIS file (*.graph, *.metis), binary pack (*.smcpack), or
+           edge list; '-' = stdin edge list. Packs load zero-copy via
+           mmap — write one with `mincut pack` (defaults to the input
+           path with an .smcpack extension); every mode (--batch
+           manifests, --stream, --cactus) accepts them transparently
 
 OPTIONS:
   -a, --algorithm <NAME>  solver name: CLI spelling, paper name, or a
@@ -326,6 +331,12 @@ fn finish(cli: &Options, code: i32) -> ! {
 }
 
 fn try_load_graph(path: &str) -> Result<CsrGraph, String> {
+    // `.smcpack` files are accepted everywhere a graph file is: the
+    // zero-copy mmap loader replaces the text parse entirely.
+    if path != "-" && sm_mincut::is_pack_path(std::path::Path::new(path)) {
+        return sm_mincut::load_pack(std::path::Path::new(path))
+            .map_err(|e| format!("failed to load pack {path}: {e}"));
+    }
     let parsed: Result<CsrGraph, GraphIoError> = if path == "-" {
         let stdin = std::io::stdin();
         read_edge_list(stdin.lock(), None)
@@ -346,6 +357,81 @@ fn load_graph(path: &str) -> CsrGraph {
         eprintln!("error: {e}");
         exit(1)
     })
+}
+
+/// `mincut pack <GRAPH> [-o FILE]`: convert any accepted graph input
+/// into a zero-copy `.smcpack`. Exit codes match the main tool: 0 ok,
+/// 1 runtime failure, 2 usage error. Never returns.
+fn run_pack_mode(args: &[String]) -> ! {
+    let mut input: Option<&str> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: mincut pack <GRAPH> [-o FILE]\n\
+                     writes GRAPH (METIS, edge list, or pack) as a binary .smcpack\n\
+                     (default output: the input path with an .smcpack extension)"
+                );
+                exit(0)
+            }
+            "-o" | "--output" => match it.next() {
+                Some(v) => output = Some(v.clone()),
+                None => {
+                    eprintln!("error: -o needs a value");
+                    exit(2)
+                }
+            },
+            flag if flag.starts_with('-') && flag != "-" => {
+                eprintln!("error: unknown pack option {flag}");
+                exit(2)
+            }
+            positional => {
+                if input.is_some() {
+                    eprintln!("error: pack takes exactly one input graph");
+                    exit(2)
+                }
+                input = Some(positional);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("error: pack needs an input graph\nusage: mincut pack <GRAPH> [-o FILE]");
+        exit(2)
+    };
+    let output = output.unwrap_or_else(|| {
+        std::path::Path::new(input)
+            .with_extension(sm_mincut::PACK_EXTENSION)
+            .to_string_lossy()
+            .into_owned()
+    });
+    if output == input {
+        // Repacking in place would truncate the file the loaded graph's
+        // mmap sections still borrow.
+        eprintln!("error: output {output} is the input file; pick another path with -o");
+        exit(2)
+    }
+    let g = match try_load_graph(input) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    };
+    if let Err(e) = sm_mincut::write_pack_file(&g, std::path::Path::new(&output)) {
+        eprintln!("error: cannot write pack {output}: {e}");
+        exit(1)
+    }
+    let bytes = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    eprintln!("pack: {input} -> {output}");
+    println!(
+        "packed n={} m={} fingerprint={:016x} bytes={bytes}",
+        g.n(),
+        g.m(),
+        g.fingerprint()
+    );
+    exit(0)
 }
 
 /// One manifest entry: a graph that loaded into a batch job, a load
@@ -654,6 +740,13 @@ fn run_cactus_mode(cli: &Options, g: &CsrGraph) -> ! {
 }
 
 fn main() {
+    // The `pack` subcommand has its own tiny argument grammar; dispatch
+    // before the flag parser sees the positional.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("pack") {
+        run_pack_mode(&raw[1..]);
+    }
+
     let cli = parse_args();
 
     // --trace-out forces span collection on; otherwise the SMC_TRACE

@@ -105,3 +105,10 @@ pub use mincut_core::{
     SolveOutcome, Solver, SolverRegistry, SolverStats, TraceOp, UpdateReport,
 };
 pub use mincut_graph::{CsrGraph, DeltaGraph, EdgeWeight, GraphBuilder, NodeId};
+
+// Zero-copy `.smcpack` graph packs (write once, mmap forever); the CLI
+// `mincut pack` subcommand and the `pack_quickstart` example sit on
+// exactly this surface.
+pub use mincut_graph::pack::{
+    is_pack_path, load_pack, read_pack, write_pack, write_pack_file, PackError, PACK_EXTENSION,
+};

@@ -173,6 +173,67 @@ fn poisoned_maintainer_recovers_through_rebuild() {
 }
 
 // ---------------------------------------------------------------------
+// Library layer: binary pack rejection.
+// ---------------------------------------------------------------------
+
+/// Every way a `.smcpack` can be corrupt surfaces as a [`PackError`]
+/// value — and converts into [`MinCutError::PackFormat`] at the session
+/// boundary — never UB, never a panic.
+#[test]
+fn corrupt_packs_are_values_not_panics() {
+    use sm_mincut::{read_pack, write_pack, PackError};
+
+    let (g, _) = sm_mincut::graph::generators::known::cycle_graph(6, 2);
+    let mut good = Vec::new();
+    write_pack(&g, &mut good).unwrap();
+
+    // Truncation at every prefix length: always an error, never a crash.
+    for len in 0..good.len() {
+        let err = read_pack(&mut &good[..len]).expect_err("truncated pack accepted");
+        assert!(
+            matches!(
+                err,
+                PackError::Truncated { .. }
+                    | PackError::SectionLength { .. }
+                    | PackError::Corrupt { .. }
+            ),
+            "prefix {len}: {err:?}"
+        );
+    }
+
+    // Bad magic, version skew, unknown flags, overflowing section
+    // length, misaligned data offset — each one a distinct rejection.
+    let corrupt = |mutate: fn(&mut Vec<u8>)| {
+        let mut bytes = good.clone();
+        mutate(&mut bytes);
+        read_pack(&mut &bytes[..]).expect_err("corrupt pack accepted")
+    };
+    assert!(matches!(corrupt(|b| b[0] = b'X'), PackError::BadMagic));
+    assert!(matches!(
+        corrupt(|b| b[8] = 99),
+        PackError::VersionSkew { found: 99, .. }
+    ));
+    assert!(matches!(
+        corrupt(|b| b[12] = 0xff),
+        PackError::UnknownFlags { .. }
+    ));
+    assert!(matches!(
+        // n := u64::MAX — the section-size multiplication must not wrap.
+        corrupt(|b| b[16..24].copy_from_slice(&u64::MAX.to_le_bytes())),
+        PackError::Corrupt { .. } | PackError::SectionLength { .. } | PackError::Truncated { .. }
+    ));
+    assert!(matches!(
+        corrupt(|b| b[40..44].copy_from_slice(&65u32.to_le_bytes())),
+        PackError::Misaligned { offset: 65 }
+    ));
+
+    // The session boundary renders them as MinCutError::PackFormat.
+    let err = MinCutError::from(corrupt(|b| b[0] = b'X'));
+    assert!(matches!(err, MinCutError::PackFormat { .. }));
+    assert!(err.to_string().starts_with("invalid graph pack:"), "{err}");
+}
+
+// ---------------------------------------------------------------------
 // CLI layer: exit codes.
 // ---------------------------------------------------------------------
 
@@ -193,6 +254,87 @@ fn scratch_file(name: &str, content: &str) -> PathBuf {
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(content.as_bytes()).unwrap();
     path
+}
+
+#[test]
+fn cli_pack_mode_exit_codes() {
+    let dir = std::env::temp_dir().join("mincut-error-paths");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Pack a golden instance: exit 0, the stdout row carries n/m and
+    // the stored fingerprint.
+    let packed = dir.join("triangle.smcpack");
+    let out = mincut_bin()
+        .arg("pack")
+        .arg(data("triangle.graph"))
+        .arg("-o")
+        .arg(&packed)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("packed n=3 m=3"), "{stdout}");
+    assert!(stdout.contains("fingerprint="), "{stdout}");
+
+    // The pack is accepted wherever a graph path is: solving it gives
+    // the golden λ.
+    let out = mincut_bin().arg(&packed).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("lambda 2"), "{stdout}");
+
+    // Usage errors: no input, two inputs, unknown flag, -o without a
+    // value, output == input (an in-place repack would truncate the
+    // mapping under the loaded graph).
+    for args in [
+        vec![],
+        vec!["a.graph".to_string(), "b.graph".to_string()],
+        vec!["--frobnicate".to_string()],
+        vec!["a.graph".to_string(), "-o".to_string()],
+        vec![
+            packed.display().to_string(),
+            "-o".to_string(),
+            packed.display().to_string(),
+        ],
+    ] {
+        let out = mincut_bin().arg("pack").args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "pack {args:?}");
+    }
+    assert_eq!(
+        mincut_bin()
+            .args(["pack", "--help"])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(0)
+    );
+
+    // Unreadable / malformed input: runtime failure.
+    let out = mincut_bin()
+        .args(["pack", "/nonexistent/nope.graph"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // A corrupt pack is a runtime failure naming the format error —
+    // both under `pack` (repack) and as a solve input.
+    let corrupt = dir.join("corrupt.smcpack");
+    let mut bytes = std::fs::read(&packed).unwrap();
+    bytes[8] = 99; // version skew
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let repack_to = dir.join("repacked.smcpack").display().to_string();
+    for args in [vec!["pack".to_string()], vec![]] {
+        let mut cmd = mincut_bin();
+        cmd.args(&args).arg(&corrupt);
+        if args.first().is_some_and(|a| a == "pack") {
+            cmd.args(["-o", &repack_to]);
+        }
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("failed to load pack"), "{args:?}: {stderr}");
+    }
 }
 
 #[test]

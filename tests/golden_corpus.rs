@@ -331,6 +331,84 @@ fn golden_trace_repair_classification_is_hand_verified() {
     );
 }
 
+/// The `.smcpack` round trip is an *identity* on the whole corpus: the
+/// pack-loaded graph must equal the text-parsed one section for section
+/// and fingerprint for fingerprint (the pack replays the stored hash
+/// without recomputing), every registry solver must return the identical
+/// (λ, witness) on both — running *unmodified* on the mmap-backed
+/// storage — and `ContractionEngine` and `DeltaGraph` must behave
+/// bit-identically on top of it.
+#[test]
+fn pack_round_trip_is_identity_on_golden_corpus() {
+    use sm_mincut::graph::ContractionEngine;
+    use sm_mincut::{load_pack, write_pack_file, NodeId};
+
+    let dir = std::env::temp_dir().join(format!("smc-golden-pack-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let opts = SolveOptions::new().seed(0xC0FFEE).threads(2);
+
+    for (file, g, lambda) in corpus() {
+        let path = dir.join(format!("{file}.smcpack"));
+        write_pack_file(&g, &path).unwrap_or_else(|e| panic!("{file}: write pack: {e}"));
+        let pg = load_pack(&path).unwrap_or_else(|e| panic!("{file}: load pack: {e}"));
+        assert_eq!(pg, g, "{file}: pack round trip changed the graph");
+        assert_eq!(pg.fingerprint(), g.fingerprint(), "{file}: fingerprint");
+        if cfg!(all(
+            unix,
+            target_pointer_width = "64",
+            target_endian = "little"
+        )) {
+            assert!(pg.is_mmap_backed(), "{file}: loader fell back to copying");
+        }
+
+        // Every solver, unmodified, on the borrowed storage: identical
+        // λ *and* identical witness (same seed, bit-identical graph —
+        // the runs must not be distinguishable).
+        for solver in SolverRegistry::global().instances() {
+            let name = solver.instance_name(&opts);
+            let a = solver
+                .solve(&g, &opts)
+                .unwrap_or_else(|e| panic!("{name} on text {file}: {e}"));
+            let b = solver
+                .solve(&pg, &opts)
+                .unwrap_or_else(|e| panic!("{name} on pack {file}: {e}"));
+            assert_eq!(a.cut.value, b.cut.value, "{name} λ on {file}");
+            assert_eq!(a.cut.side, b.cut.side, "{name} witness on {file}");
+            if solver.capabilities().guarantee.is_exact() {
+                assert_eq!(b.cut.value, lambda, "{name} on pack {file}");
+            }
+            assert!(b.cut.verify(&pg), "{name} pack witness on {file}");
+        }
+
+        // ContractionEngine on mmap-backed input (reads through the
+        // storage abstraction, writes a fresh owned graph).
+        if pg.n() >= 2 {
+            let blocks = 2usize;
+            let labels: Vec<NodeId> = (0..pg.n() as NodeId)
+                .map(|v| v % blocks as NodeId)
+                .collect();
+            let mut engine = ContractionEngine::new();
+            let from_pack = engine.contract_sequential(&pg, &labels, blocks);
+            let from_text = engine.contract_sequential(&g, &labels, blocks);
+            assert_eq!(from_pack, from_text, "{file}: contraction diverged");
+        }
+
+        // DeltaGraph overlay on mmap-backed base: the same update burst
+        // must materialise to the same graph.
+        let mut d_pack = DeltaGraph::new(pg.clone());
+        let mut d_text = DeltaGraph::new(g.clone());
+        for d in [&mut d_pack, &mut d_text] {
+            d.insert_edge(0, (g.n() - 1) as NodeId, 7);
+        }
+        assert_eq!(
+            materialize(&d_pack),
+            materialize(&d_text),
+            "{file}: overlay diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn batch_path_is_bit_identical_to_serial_sessions_and_caches_repeats() {
     let opts = SolveOptions::new().seed(5);
